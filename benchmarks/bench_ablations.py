@@ -1,0 +1,75 @@
+"""Ablation benchmarks for the design choices the paper calls out.
+
+* two-region analysis (§4.3) on the subsetSum example: with vs. without;
+* the Alg. 4 depth model vs. the closed-form descent bound alone (§4.2);
+* exact polyhedral hulls vs. the weak join inside symbolic abstraction;
+* the Alg. 3 stratification filter (number of candidate inequations kept).
+"""
+
+import pytest
+
+from repro.abstraction import AbstractionOptions
+from repro.benchlib import SUBSET_SUM_OVERVIEW, benchmark_by_name
+from repro.core import ChoraOptions, analyze_program, cost_bound
+from repro.lang import parse_program
+
+HANOI = benchmark_by_name("hanoi")
+
+
+def _bound(options: ChoraOptions, spec=HANOI) -> str:
+    result = analyze_program(parse_program(spec.source), options)
+    return cost_bound(
+        result, spec.procedure, spec.cost_variable, substitutions=spec.substitutions
+    ).asymptotic
+
+
+def test_ablation_two_region_off(benchmark):
+    verdict = benchmark.pedantic(
+        _bound, args=(ChoraOptions(use_two_region=False),), rounds=1, iterations=1
+    )
+    assert verdict == "O(2^n)"
+
+
+def test_ablation_two_region_on(benchmark):
+    verdict = benchmark.pedantic(
+        _bound, args=(ChoraOptions(use_two_region=True),), rounds=1, iterations=1
+    )
+    assert verdict == "O(2^n)"
+
+
+def test_ablation_without_alg4_depth_model(benchmark):
+    verdict = benchmark.pedantic(
+        _bound, args=(ChoraOptions(use_alg4_depth=False),), rounds=1, iterations=1
+    )
+    # The closed-form descent bound alone still yields the exponential bound.
+    assert verdict == "O(2^n)"
+
+
+def test_ablation_weak_join(benchmark):
+    options = ChoraOptions(abstraction=AbstractionOptions(exact_hull=False))
+    verdict = benchmark.pedantic(_bound, args=(options,), rounds=1, iterations=1)
+    benchmark.extra_info["bound"] = verdict
+    # The weak join is sound; it may or may not retain the exact bound.
+    assert verdict in ("O(2^n)", "n.b.")
+
+
+def test_ablation_stratification_filter(benchmark):
+    """Count how many candidate inequations Alg. 3 keeps on subsetSum."""
+    from repro.analysis import ProcedureContext
+    from repro.core import build_stratified_system, run_height_analysis
+
+    program = parse_program(SUBSET_SUM_OVERVIEW)
+    procedures = {p.name: p for p in program.procedures}
+
+    def run():
+        context = ProcedureContext.of(procedures["subsetSumAux"], program.global_names)
+        analysis = run_height_analysis({"subsetSumAux": context}, {}, procedures)
+        bounds = analysis.bound_symbols["subsetSumAux"]
+        system = build_stratified_system(analysis.candidate_inequations, bounds)
+        return len(analysis.candidate_inequations), len(system.equations)
+
+    candidates, kept = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["candidates"] = candidates
+    benchmark.extra_info["kept"] = kept
+    assert kept <= candidates
+    assert kept >= 1

@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark runs the analysis exactly once per measurement
+(``rounds=1``): the quantities of interest are end-to-end analysis times,
+not micro-timings, and several analyses take seconds.
+
+Set ``REPRO_FULL_BENCH=1`` to include the slowest Table-1 rows (strassen,
+qsort_steps, closest_pair, ackermann), which take minutes each in this
+pure-Python reproduction.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL_BENCH", "") == "1"
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(function, *args, **kwargs):
+        return run_once(benchmark, function, *args, **kwargs)
+
+    return runner

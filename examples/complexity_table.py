@@ -1,0 +1,83 @@
+"""Regenerate Table 1: asymptotic complexity bounds on the benchmark suite.
+
+Run with:  python examples/complexity_table.py [--full]
+
+Without ``--full`` only the benchmarks that analyse within a few seconds each
+are run; ``--full`` runs all twelve rows (the hardest ones take minutes in
+this pure-Python reproduction).  Each row shows the true bound, the bound
+found by this reproduction of CHORA, the bound found by the ICRA-style
+baseline, and the bounds the paper reports.
+"""
+
+import sys
+import time
+
+from repro.baselines import analyze_program_icra
+from repro.benchlib import TABLE1_BENCHMARKS
+from repro.core import NO_BOUND, analyze_program, cost_bound
+from repro.lang import parse_program
+from repro.reporting import format_table
+
+FAST_BENCHMARKS = {
+    "fibonacci",
+    "hanoi",
+    "subset_sum",
+    "bst_copy",
+    "ball_bins3",
+    "karatsuba",
+    "mergesort",
+    "qsort_calls",
+}
+
+
+def analyse_one(benchmark, analyzer):
+    program = parse_program(benchmark.source)
+    started = time.time()
+    try:
+        result = analyzer(program)
+        bound = cost_bound(
+            result,
+            benchmark.procedure,
+            benchmark.cost_variable,
+            substitutions=benchmark.substitutions,
+        )
+        text = bound.asymptotic
+    except Exception as error:  # pragma: no cover - defensive reporting
+        text = f"error: {type(error).__name__}"
+    return text, time.time() - started
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    rows = []
+    for benchmark in TABLE1_BENCHMARKS:
+        if not full and benchmark.name not in FAST_BENCHMARKS:
+            rows.append(
+                [benchmark.name, benchmark.actual, "(skipped, use --full)", "-",
+                 benchmark.paper_chora, benchmark.paper_icra, benchmark.paper_other]
+            )
+            continue
+        chora_bound, chora_time = analyse_one(benchmark, analyze_program)
+        icra_bound, _ = analyse_one(benchmark, analyze_program_icra)
+        rows.append(
+            [
+                benchmark.name,
+                benchmark.actual,
+                f"{chora_bound} ({chora_time:.1f}s)",
+                icra_bound,
+                benchmark.paper_chora,
+                benchmark.paper_icra,
+                benchmark.paper_other,
+            ]
+        )
+    print(
+        format_table(
+            ["benchmark", "actual", "CHORA (this repo)", "ICRA (this repo)",
+             "CHORA (paper)", "ICRA (paper)", "other tools (paper)"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Quickstart: analyse the paper's §2 running example (subsetSum).
+
+Run with:  python examples/quickstart.py
+
+The analysis discovers, for ``subsetSumAux``, bounds of the shape
+
+    nTicks' - nTicks <= 2^h - 1      return' <= h - 1      h <= 1 + n - i
+
+(the paper's Eqn. after §2), i.e. the brute-force subset-sum search is
+exponential in the array size and its return value is at most n.
+"""
+
+from repro.benchlib import SUBSET_SUM_OVERVIEW
+from repro.core import analyze_program, cost_bound, return_bound
+from repro.lang import parse_program
+
+
+def main() -> None:
+    program = parse_program(SUBSET_SUM_OVERVIEW)
+    result = analyze_program(program)
+
+    summary = result.summaries["subsetSumAux"]
+    print("Procedure summary for subsetSumAux")
+    print(summary)
+    print()
+
+    ticks = cost_bound(
+        result, "subsetSumAux", cost_variable="nTicks", substitutions={"i": 0, "sum": 0}
+    )
+    returned = return_bound(result, "subsetSumAux", substitutions={"i": 0, "sum": 0})
+    print(f"Bound on nTicks increase (i=0):   {ticks}")
+    print(f"Bound on the return value (i=0):  {returned}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Symbolic abstraction (``Abstract``) and the satisfiability layer built on it.
+
+Implements Alg. 1 of the paper (convex hull of a formula) and its non-linear
+variant ([25, Alg. 3]-style): non-linear monomials become fresh dimensions,
+inference rules recover consequences of the non-linear theory, and the
+polyhedral join combines the DNF cubes.
+"""
+
+from .linearize import LinearizationContext, inference_constraints
+from .symbolic_abstraction import (
+    AbstractionOptions,
+    AbstractionResult,
+    Inequation,
+    abstract,
+    abstract_cubes,
+    formula_entails,
+    is_formula_satisfiable,
+)
+
+__all__ = [
+    "LinearizationContext",
+    "inference_constraints",
+    "AbstractionOptions",
+    "AbstractionResult",
+    "Inequation",
+    "abstract",
+    "abstract_cubes",
+    "formula_entails",
+    "is_formula_satisfiable",
+]

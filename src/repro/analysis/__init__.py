@@ -1,0 +1,27 @@
+"""Intraprocedural analysis: the Kleene algebra of transition formulas.
+
+``PathSummary`` (state elimination with compose/join/star) and
+``Summary(P, phi)`` (call-edge replacement + ``PathSummary``), as described in
+§3 of the paper.  The star operator summarizes loops by extracting and
+solving recurrences (compositional recurrence analysis).
+"""
+
+from .loop_summary import LoopRecurrence, extract_loop_recurrences, summarize_loop
+from .intra import (
+    CallInterpretation,
+    ProcedureContext,
+    inline_call,
+    path_summary,
+    summarize_procedure,
+)
+
+__all__ = [
+    "LoopRecurrence",
+    "extract_loop_recurrences",
+    "summarize_loop",
+    "CallInterpretation",
+    "ProcedureContext",
+    "inline_call",
+    "path_summary",
+    "summarize_procedure",
+]

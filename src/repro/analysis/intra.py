@@ -1,0 +1,271 @@
+"""Intraprocedural summarization: ``PathSummary`` and ``Summary(P, phi)``.
+
+§3 of the paper formalizes two subroutines the interprocedural analysis is
+built on:
+
+* ``PathSummary(e, x, V, E)`` — a transition formula over-approximating all
+  paths of a control-flow graph between two vertices; implemented here by
+  state elimination over the Kleene algebra of transition formulas (compose /
+  join / star, with the star of :mod:`repro.analysis.loop_summary`);
+* ``Summary(P, phi)`` — a transition formula over-approximating procedure
+  ``P`` when ``phi`` is used to interpret its recursive calls; implemented by
+  replacing every call edge with an inlined copy of the appropriate summary
+  (argument binding, renamed formals, return-value plumbing) and calling
+  ``PathSummary`` on the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from ..abstraction import AbstractionOptions
+from ..formulas import (
+    RETURN_VARIABLE,
+    Polynomial,
+    TransitionFormula,
+    atom_eq,
+    exists,
+    fresh,
+    post,
+    pre,
+)
+from ..lang import ast
+from ..lang.cfg import CallEdge, ControlFlowGraph, WeightEdge, build_cfg
+from ..lang.semantics import translate_expression
+from .loop_summary import summarize_loop
+
+__all__ = [
+    "CallInterpretation",
+    "inline_call",
+    "path_summary",
+    "summarize_procedure",
+    "ProcedureContext",
+]
+
+#: A function mapping a call edge to the transition formula that replaces it.
+CallInterpretation = Callable[[CallEdge], TransitionFormula]
+
+
+@dataclass
+class ProcedureContext:
+    """Per-procedure information needed to interpret its calls."""
+
+    procedure: ast.Procedure
+    cfg: ControlFlowGraph
+    global_names: tuple[str, ...]
+
+    @staticmethod
+    def of(procedure: ast.Procedure, global_names: Sequence[str]) -> "ProcedureContext":
+        return ProcedureContext(procedure, build_cfg(procedure), tuple(global_names))
+
+    @property
+    def name(self) -> str:
+        return self.procedure.name
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return self.cfg.variables(self.global_names)
+
+    @property
+    def summary_variables(self) -> tuple[str, ...]:
+        """The vocabulary of this procedure's summaries: globals, scalar
+        parameters, and the return value."""
+        names = list(self.global_names)
+        for name in self.procedure.scalar_parameters + (RETURN_VARIABLE,):
+            if name not in names:
+                names.append(name)
+        return tuple(names)
+
+    @property
+    def local_names(self) -> tuple[str, ...]:
+        """Variables to hide from summaries (locals and temporaries)."""
+        return tuple(
+            name
+            for name in self.cfg.locals
+            if name not in self.global_names
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Call inlining
+# ---------------------------------------------------------------------- #
+def inline_call(
+    edge: CallEdge,
+    callee: ast.Procedure,
+    callee_summary: TransitionFormula,
+) -> TransitionFormula:
+    """Replace a call edge with the callee's summary.
+
+    The construction renames the callee's formal parameters and ``return`` to
+    fresh names, binds the actual arguments to those names, composes with the
+    renamed summary, assigns the return value to the caller's result variable
+    (if any), and finally hides the fresh names again.
+    """
+    renaming: dict[str, str] = {}
+    fresh_names: list[str] = []
+    for parameter in callee.parameters:
+        if parameter.is_array:
+            continue
+        name = f"__arg_{parameter.name}_{fresh('c').index}"
+        renaming[parameter.name] = name
+        fresh_names.append(name)
+    return_name = f"__ret_{fresh('c').index}"
+    renaming[RETURN_VARIABLE] = return_name
+    fresh_names.append(return_name)
+
+    renamed_summary = callee_summary.rename_variables(renaming)
+
+    # Bind actual arguments to the renamed formals (array arguments skipped).
+    binding = TransitionFormula.identity()
+    scalar_arguments: list[tuple[str, ast.Expr]] = []
+    for parameter, argument in zip(callee.parameters, edge.arguments):
+        if parameter.is_array:
+            continue
+        scalar_arguments.append((renaming[parameter.name], argument))
+    for name, argument in scalar_arguments:
+        translated = translate_expression(argument)
+        assignment = TransitionFormula.relation(
+            exists(
+                translated.fresh_symbols,
+                (
+                    translated.constraints
+                    & atom_eq(Polynomial.var(post(name)), translated.value)
+                ),
+            ),
+            [name],
+        )
+        binding = binding.compose(assignment)
+
+    combined = binding.compose(renamed_summary)
+    if edge.result is not None:
+        result_assignment = TransitionFormula.relation(
+            atom_eq(
+                Polynomial.var(post(edge.result)), Polynomial.var(pre(return_name))
+            ),
+            [edge.result],
+        )
+        combined = combined.compose(result_assignment)
+    return combined.exists_variables(fresh_names)
+
+
+# ---------------------------------------------------------------------- #
+# Path summaries by state elimination
+# ---------------------------------------------------------------------- #
+def path_summary(
+    cfg: ControlFlowGraph,
+    call_interpretation: CallInterpretation,
+    source: Optional[int] = None,
+    target: Optional[int] = None,
+    options: AbstractionOptions = AbstractionOptions(),
+) -> TransitionFormula:
+    """``PathSummary``: summarize all paths from ``source`` to ``target``.
+
+    ``call_interpretation`` supplies the transition formula substituted for
+    each call edge (e.g. ``false`` for base-case analysis, a hypothetical
+    summary for Alg. 2, or a previously computed procedure summary).
+    """
+    entry = cfg.entry if source is None else source
+    exit_vertex = cfg.exit if target is None else target
+
+    # Edge map with parallel edges joined.
+    weights: dict[tuple[int, int], TransitionFormula] = {}
+
+    def add(u: int, v: int, weight: TransitionFormula) -> None:
+        if weight.is_bottom:
+            return
+        key = (u, v)
+        if key in weights:
+            weights[key] = weights[key].join(weight)
+        else:
+            weights[key] = weight
+
+    for edge in cfg.weight_edges:
+        add(edge.source, edge.target, edge.transition)
+    for edge in cfg.call_edges:
+        add(edge.source, edge.target, call_interpretation(edge))
+
+    vertices = set(cfg.vertices)
+    interior = [v for v in vertices if v not in (entry, exit_vertex)]
+    # Eliminate cheap vertices first (fewest fan-in * fan-out).
+    def cost(vertex: int) -> int:
+        fan_in = sum(1 for (u, v) in weights if v == vertex and u != vertex)
+        fan_out = sum(1 for (u, v) in weights if u == vertex and v != vertex)
+        return fan_in * fan_out
+
+    while interior:
+        interior.sort(key=cost)
+        vertex = interior.pop(0)
+        self_loop = weights.pop((vertex, vertex), None)
+        closure = (
+            summarize_loop(self_loop, options) if self_loop is not None else None
+        )
+        incoming = [
+            (u, w) for (u, v), w in list(weights.items()) if v == vertex and u != vertex
+        ]
+        outgoing = [
+            (v, w) for (u, v), w in list(weights.items()) if u == vertex and v != vertex
+        ]
+        for (u, w_in) in incoming:
+            del weights[(u, vertex)]
+        for (v, w_out) in outgoing:
+            del weights[(vertex, v)]
+        for (u, w_in) in incoming:
+            through = w_in if closure is None else w_in.compose(closure)
+            for (v, w_out) in outgoing:
+                add(u, v, through.compose(w_out))
+
+    if entry == exit_vertex:
+        self_loop = weights.get((entry, entry))
+        return summarize_loop(self_loop, options) if self_loop else TransitionFormula.identity()
+
+    entry_loop = weights.get((entry, entry))
+    exit_loop = weights.get((exit_vertex, exit_vertex))
+    direct = weights.get((entry, exit_vertex), TransitionFormula.bottom())
+    if entry_loop is not None:
+        direct = summarize_loop(entry_loop, options).compose(direct)
+    if exit_loop is not None:
+        direct = direct.compose(summarize_loop(exit_loop, options))
+    return direct
+
+
+# ---------------------------------------------------------------------- #
+# Procedure summaries
+# ---------------------------------------------------------------------- #
+def summarize_procedure(
+    context: ProcedureContext,
+    recursive_interpretation: Mapping[str, TransitionFormula],
+    external_summaries: Mapping[str, TransitionFormula],
+    procedures: Mapping[str, ast.Procedure],
+    options: AbstractionOptions = AbstractionOptions(),
+    hide_locals: bool = True,
+) -> TransitionFormula:
+    """``Summary(P, phi)``: summarize ``context``'s procedure.
+
+    Calls to procedures in ``recursive_interpretation`` (the procedure's own
+    strongly connected component) are replaced by the given formulas — e.g.
+    ``TransitionFormula.bottom()`` for base-case analysis (``Summary(P,
+    false)``) or the hypothetical summary ``phi_call`` of Alg. 2.  Calls to
+    already-analysed procedures are replaced by ``external_summaries``.
+    """
+
+    def interpret(edge: CallEdge) -> TransitionFormula:
+        if edge.callee in recursive_interpretation:
+            summary = recursive_interpretation[edge.callee]
+        elif edge.callee in external_summaries:
+            summary = external_summaries[edge.callee]
+        else:
+            # Unknown procedure: havoc the globals and the result.
+            havoced = list(context.global_names)
+            if edge.result is not None:
+                havoced.append(edge.result)
+            return TransitionFormula.havoc(havoced)
+        if summary.is_bottom:
+            return TransitionFormula.bottom()
+        callee = procedures[edge.callee]
+        return inline_call(edge, callee, summary)
+
+    summary = path_summary(context.cfg, interpret, options=options)
+    if hide_locals:
+        summary = summary.exists_variables(context.local_names)
+    return summary

@@ -1,0 +1,249 @@
+"""Loop summarization: the ``star`` operator of compositional recurrence analysis.
+
+CHORA analyses loop-free fragments by composing transition formulas and
+summarizes loops the same way it summarizes recursion: extract recurrences
+from one iteration, solve them, and existentially quantify the iteration
+count (Farzan & Kincaid's Compositional Recurrence Analysis, which the paper
+uses for its ``Summary``/``PathSummary`` subroutines).  This module implements
+that star operator:
+
+1.  abstract the loop body's transition formula onto pre/post variable pairs;
+2.  classify variables: *invariant* (``x' = x``), *induction* (``x' - x``
+    bounded by a polynomial over invariant variables and constants), and
+    *second-stratum* (``x' - x`` bounded by a polynomial over invariant
+    variables plus the current values of induction variables);
+3.  emit closed forms over a fresh iteration counter ``K`` (linear for
+    induction variables, quadratic/cubic for the second stratum);
+4.  strengthen with the loop guard evaluated at the last iteration (for
+    variables whose closed form is exact), which yields the loop bounds
+    (``K <= n - i``) that the cost and depth-bound analyses rely on;
+5.  return ``identity  \\/  (exists K >= 1. closed forms)``.
+
+Variables with no extractable recurrence are simply left unconstrained
+(havoced) in the ``K >= 1`` branch — a sound over-approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from ..abstraction import AbstractionOptions, Inequation, abstract
+from ..formulas import (
+    Formula,
+    Monomial,
+    Polynomial,
+    Symbol,
+    TransitionFormula,
+    atom_eq,
+    atom_ge,
+    atom_le,
+    conjoin,
+    exists,
+    fresh,
+    post,
+    pre,
+)
+
+__all__ = ["summarize_loop", "LoopRecurrence", "extract_loop_recurrences"]
+
+
+@dataclass(frozen=True)
+class LoopRecurrence:
+    """A per-iteration bound on one variable's change.
+
+    ``x' - x <= increment`` when ``is_upper``, ``x' - x >= increment`` when
+    not; ``is_exact`` marks bounds that came from an equality constraint.
+    The increment is a polynomial over pre-state symbols of *other* variables
+    (invariant or induction variables), never over post-state symbols.
+    """
+
+    variable: str
+    increment: Polynomial
+    is_exact: bool
+    is_upper: bool
+
+
+def _delta(variable: str) -> Polynomial:
+    return Polynomial.var(post(variable)) - Polynomial.var(pre(variable))
+
+
+def extract_loop_recurrences(
+    inequations: Iterable[Inequation], variables: Iterable[str]
+) -> tuple[set[str], list[LoopRecurrence]]:
+    """Classify variables and extract per-iteration recurrences.
+
+    Returns ``(invariant_variables, recurrences)``.  Recurrence increments are
+    restricted to polynomials over pre-state symbols of variables other than
+    the recurrence's own variable (the caller checks which of those symbols it
+    can resolve to closed forms).
+    """
+    constraint_polys = [(i.polynomial, i.is_equality) for i in inequations]
+    variables = list(variables)
+
+    invariant: set[str] = set()
+    for variable in variables:
+        delta = _delta(variable)
+        for poly, is_eq in constraint_polys:
+            if is_eq and ((poly - delta).is_zero or (poly + delta).is_zero):
+                invariant.add(variable)
+                break
+
+    pre_symbols = {pre(v) for v in variables}
+    recurrences: list[LoopRecurrence] = []
+    for variable in variables:
+        if variable in invariant:
+            continue
+        delta = _delta(variable)
+        own_pre = pre(variable)
+        for poly, is_eq in constraint_polys:
+            # Upper bound:  poly <= 0  of the shape  (x' - x) - inc <= 0.
+            increment = delta - poly
+            if increment.symbols <= (pre_symbols - {own_pre}):
+                recurrences.append(LoopRecurrence(variable, increment, is_eq, True))
+            # Lower bound:  poly <= 0  of the shape  inc - (x' - x) <= 0.
+            lower_increment = poly + delta
+            if lower_increment.symbols <= (pre_symbols - {own_pre}):
+                recurrences.append(
+                    LoopRecurrence(variable, lower_increment, is_eq, False)
+                )
+    return invariant, recurrences
+
+
+def summarize_loop(
+    body: TransitionFormula,
+    options: AbstractionOptions = AbstractionOptions(),
+) -> TransitionFormula:
+    """The reflexive-transitive closure (star) of a loop body's transition."""
+    if body.is_bottom or body.is_identity:
+        return TransitionFormula.identity()
+    # Read-only variables matter too: the loop guard typically compares a
+    # modified counter against an unmodified bound, and that bound must be
+    # visible (and recognized as invariant) for the closed forms to carry it.
+    variables = sorted(body.footprint | body.referenced_variables())
+    keep = [pre(v) for v in variables] + [post(v) for v in variables]
+    abstraction = abstract(body.to_formula(variables), keep, options)
+    if abstraction.polyhedron.is_empty():
+        # The body is infeasible: zero iterations is the only behaviour.
+        return TransitionFormula.identity()
+    invariant, recurrences = extract_loop_recurrences(abstraction, variables)
+    invariant_pre = {pre(v) for v in invariant}
+
+    counter = fresh("K")
+    k = Polynomial.var(counter)
+    conjuncts: list[Formula] = [atom_ge(k, 1)]
+
+    for variable in sorted(invariant):
+        conjuncts.append(
+            atom_eq(Polynomial.var(post(variable)), Polynomial.var(pre(variable)))
+        )
+
+    # Exact linear closed forms x_j = x_0 + j*inc for induction variables whose
+    # increment is exact and over invariant symbols only.  These drive both the
+    # second stratum and the last-iteration guard.
+    exact_linear: dict[Symbol, tuple[Polynomial, Polynomial]] = {}
+    for recurrence in recurrences:
+        if recurrence.is_exact and recurrence.is_upper:
+            if recurrence.increment.symbols <= invariant_pre:
+                exact_linear.setdefault(
+                    pre(recurrence.variable),
+                    (Polynomial.var(pre(recurrence.variable)), recurrence.increment),
+                )
+
+    for recurrence in recurrences:
+        total = _accumulate(recurrence.increment, invariant_pre, exact_linear, counter)
+        if total is None:
+            continue
+        delta = _delta(recurrence.variable)
+        if recurrence.is_exact and recurrence.is_upper and (
+            recurrence.increment.symbols <= invariant_pre
+        ):
+            conjuncts.append(atom_eq(delta, total))
+        elif recurrence.is_upper:
+            conjuncts.append(atom_le(delta, total))
+        else:
+            conjuncts.append(atom_ge(delta, total))
+
+    # Loop-guard strengthening: pre-state-only consequences of the body hold at
+    # the start of every iteration, in particular the last one (index K - 1).
+    for inequation in abstraction:
+        poly = inequation.polynomial
+        if inequation.is_equality or not poly.symbols:
+            continue
+        if not poly.symbols <= {pre(v) for v in variables}:
+            continue
+        substitution: dict[Symbol, Polynomial] = {}
+        resolvable = True
+        for symbol in poly.symbols:
+            if symbol in exact_linear:
+                start, increment = exact_linear[symbol]
+                substitution[symbol] = start + (k - 1) * increment
+            elif symbol in invariant_pre:
+                continue
+            else:
+                resolvable = False
+                break
+        if not resolvable:
+            continue
+        conjuncts.append(atom_le(poly.substitute(substitution), 0))
+
+    iterated = exists([counter], conjoin(conjuncts))
+    loop_branch = TransitionFormula.relation(iterated, variables)
+    return TransitionFormula.identity().join(loop_branch)
+
+
+def _accumulate(
+    increment: Polynomial,
+    invariant_pre: set[Symbol],
+    exact_linear: dict[Symbol, tuple[Polynomial, Polynomial]],
+    counter: Symbol,
+) -> Polynomial | None:
+    """``sum_{j=0}^{K-1}`` of a per-iteration increment, as a polynomial in K.
+
+    Symbols of the increment must be invariant (kept as-is) or have an exact
+    linear closed form (substituted at iteration ``j`` before summing).
+    Returns ``None`` when the increment cannot be resolved or the degree in
+    the iteration index exceeds what the closed-form table covers.
+    """
+    k = Polynomial.var(counter)
+    changing = [s for s in increment.symbols if s not in invariant_pre]
+    if not changing:
+        return increment * k
+    if not all(s in exact_linear for s in changing):
+        return None
+    index = fresh("j")
+    substitution = {
+        s: exact_linear[s][0] + Polynomial.var(index) * exact_linear[s][1]
+        for s in changing
+    }
+    at_iteration = increment.substitute(substitution)
+    return _sum_over_counter(at_iteration, index, k)
+
+
+def _sum_over_counter(
+    polynomial: Polynomial, index: Symbol, count: Polynomial
+) -> Polynomial | None:
+    """``sum_{j=0}^{K-1} polynomial(j)`` for degrees up to 2 in ``j``."""
+    coefficients: dict[int, Polynomial] = {}
+    for monomial, coefficient in polynomial.items():
+        degree = monomial.power_of(index)
+        rest = {s: p for s, p in monomial.powers if s != index}
+        base = Polynomial.monomial(Monomial.from_mapping(rest), coefficient)
+        coefficients[degree] = coefficients.get(degree, Polynomial.zero()) + base
+    result = Polynomial.zero()
+    k = count
+    for degree, coefficient in coefficients.items():
+        if degree == 0:
+            result = result + coefficient * k
+        elif degree == 1:
+            result = result + coefficient * (k * k - k).scale(Fraction(1, 2))
+        elif degree == 2:
+            result = result + coefficient * (
+                (k * k * k).scale(Fraction(1, 3))
+                - (k * k).scale(Fraction(1, 2))
+                + k.scale(Fraction(1, 6))
+            )
+        else:
+            return None
+    return result

@@ -1,0 +1,19 @@
+"""Baseline analysers the paper compares against.
+
+* :func:`analyze_program_icra` — an ICRA-style analyser (recurrences for
+  loops and linear recursion, Kleene iteration with widening for non-linear
+  recursion); used for Table 1's ICRA column and Table 2 / Fig. 3.
+* :func:`check_assertions_by_unrolling` — a bounded-unrolling checker that
+  stands in for the unrolling-capable SV-COMP tools in Fig. 3.
+"""
+
+from .icra import analyze_program_icra
+from .shared import polyhedral_kleene_summary
+from .unroller import DEFAULT_UNROLL_DEPTH, check_assertions_by_unrolling
+
+__all__ = [
+    "analyze_program_icra",
+    "polyhedral_kleene_summary",
+    "check_assertions_by_unrolling",
+    "DEFAULT_UNROLL_DEPTH",
+]

@@ -1,0 +1,63 @@
+"""Shared machinery for the baseline analysers."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..abstraction import AbstractionOptions, abstract
+from ..analysis import ProcedureContext, summarize_procedure
+from ..formulas import TransitionFormula, post, pre
+from ..lang import ast
+from ..polyhedra import Polyhedron
+
+__all__ = ["polyhedral_kleene_summary", "KLEENE_MAX_ITERATIONS"]
+
+#: Iterations before widening kicks in, and the hard iteration cap.
+KLEENE_MAX_ITERATIONS = 6
+
+
+def _to_polyhedron(
+    transition: TransitionFormula,
+    context: ProcedureContext,
+    options: AbstractionOptions,
+) -> Polyhedron:
+    variables = context.summary_variables
+    keep = [pre(v) for v in variables] + [post(v) for v in variables]
+    return abstract(transition.to_formula(variables), keep, options).polyhedron
+
+
+def polyhedral_kleene_summary(
+    context: ProcedureContext,
+    component: Sequence[str],
+    external: Mapping[str, TransitionFormula],
+    procedures: Mapping[str, ast.Procedure],
+    options: AbstractionOptions = AbstractionOptions(),
+) -> TransitionFormula:
+    """Kleene iteration with widening in the polyhedral domain.
+
+    This is the fallback ICRA applies to non-linearly recursive procedures
+    (and the classical abstract-interpretation treatment of recursion): start
+    from the empty relation, repeatedly re-analyse the body with the current
+    approximation at the recursive call sites, abstract to a polyhedron, and
+    widen until stabilization.
+    """
+    variables = context.summary_variables
+    current = TransitionFormula.bottom()
+    current_polyhedron = Polyhedron.empty()
+    for iteration in range(KLEENE_MAX_ITERATIONS):
+        interpretation = {name: current for name in component}
+        body = summarize_procedure(
+            context, interpretation, external, procedures, options
+        )
+        next_polyhedron = _to_polyhedron(body, context, options)
+        if iteration >= 2:
+            next_polyhedron = current_polyhedron.widen(next_polyhedron)
+        if not current_polyhedron.is_empty() and current_polyhedron.contains(
+            next_polyhedron
+        ):
+            break
+        current_polyhedron = next_polyhedron
+        current = TransitionFormula.relation(
+            current_polyhedron.to_formula(), variables
+        )
+    return TransitionFormula.relation(current_polyhedron.to_formula(), variables)

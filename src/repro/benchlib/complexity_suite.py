@@ -1,0 +1,318 @@
+"""The twelve complexity benchmarks of Table 1.
+
+Each benchmark is a working mini-language program instrumented with an
+explicit ``cost`` variable, together with the metadata the harness needs:
+which procedure to analyse, how the program's size parameter maps onto that
+procedure's parameters, the true asymptotic bound, the bound the paper
+reports for CHORA and ICRA, and the published bound of the best other tool
+(Table 1, column 5).
+
+Array-manipulating divide-and-conquer algorithms are written over integer
+sizes with array contents as non-deterministic values — exactly the
+abstraction CHORA itself applies (it reasons about integer variables only),
+so the cost structure the analysis sees is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = ["ComplexityBenchmark", "TABLE1_BENCHMARKS", "benchmark_by_name"]
+
+
+@dataclass(frozen=True)
+class ComplexityBenchmark:
+    """One row of Table 1."""
+
+    name: str
+    source: str
+    procedure: str                      # the recursive procedure to analyse
+    cost_variable: str = "cost"
+    substitutions: Mapping[str, int] = field(default_factory=dict)
+    actual: str = ""                    # true asymptotic bound
+    paper_chora: str = ""               # bound reported for CHORA in Table 1
+    paper_icra: str = "n.b."            # bound reported for ICRA in Table 1
+    paper_other: str = ""               # best other published bound + source
+    #: Interpreter arguments used by tests to cross-check soundness.
+    test_sizes: tuple[int, ...] = (1, 2, 3, 4, 5)
+
+
+FIBONACCI = ComplexityBenchmark(
+    name="fibonacci",
+    procedure="fib",
+    actual="O(phi^n)",
+    paper_chora="O(2^n)",
+    paper_other="[PUBS]: O(2^n)",
+    source="""
+int cost;
+int fib(int n) {
+    cost++;
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+""",
+)
+
+HANOI = ComplexityBenchmark(
+    name="hanoi",
+    procedure="applyHanoi",
+    actual="O(2^n)",
+    paper_chora="O(2^n)",
+    paper_other="[PUBS]: O(2^n)",
+    source="""
+int cost;
+void applyHanoi(int n, int from, int to, int via) {
+    if (n == 0) { return; }
+    cost++;
+    applyHanoi(n - 1, from, via, to);
+    applyHanoi(n - 1, via, to, from);
+}
+""",
+)
+
+SUBSET_SUM = ComplexityBenchmark(
+    name="subset_sum",
+    procedure="subsetSumAux",
+    substitutions={"i": 0, "sum": 0},
+    actual="O(2^n)",
+    paper_chora="O(2^n)",
+    paper_other="[Kahn-Hoffmann]: O(2^n)",
+    source="""
+int cost;
+int found;
+int subsetSumAux(int *A, int i, int n, int sum) {
+    cost++;
+    if (i >= n) {
+        if (sum == 0) { found = 1; }
+        return 0;
+    }
+    int size = subsetSumAux(A, i + 1, n, sum + A[i]);
+    if (found != 0) { return size + 1; }
+    size = subsetSumAux(A, i + 1, n, sum);
+    return size;
+}
+int subsetSum(int *A, int n) {
+    found = 0;
+    return subsetSumAux(A, 0, n, 0);
+}
+""",
+)
+
+BST_COPY = ComplexityBenchmark(
+    name="bst_copy",
+    procedure="bstCopy",
+    actual="O(2^n)",
+    paper_chora="O(2^n)",
+    paper_other="[PUBS]: O(2^n)",
+    source="""
+int cost;
+void bstCopy(int n) {
+    cost++;
+    if (n <= 0) { return; }
+    bstCopy(n - 1);
+    bstCopy(n - 1);
+}
+""",
+)
+
+BALL_BINS3 = ComplexityBenchmark(
+    name="ball_bins3",
+    procedure="ballBins",
+    actual="O(3^n)",
+    paper_chora="O(3^n)",
+    paper_other="[Kahn-Hoffmann]: O(3^n)",
+    source="""
+int cost;
+void ballBins(int n) {
+    if (n <= 0) { return; }
+    cost++;
+    ballBins(n - 1);
+    ballBins(n - 1);
+    ballBins(n - 1);
+}
+""",
+)
+
+KARATSUBA = ComplexityBenchmark(
+    name="karatsuba",
+    procedure="karatsuba",
+    actual="O(n^log2(3))",
+    paper_chora="O(n^log2(3))",
+    paper_other="[Chatterjee et al.]: O(n^1.6)",
+    source="""
+int cost;
+void karatsuba(int *A, int *B, int n) {
+    if (n <= 1) { cost++; return; }
+    int half = n / 2;
+    int i = 0;
+    while (i < n) { cost++; i++; }
+    karatsuba(A, B, half);
+    karatsuba(A, B, half);
+    karatsuba(A, B, half);
+}
+""",
+)
+
+MERGESORT = ComplexityBenchmark(
+    name="mergesort",
+    procedure="mergesort",
+    actual="O(n log(n))",
+    paper_chora="O(n log(n))",
+    paper_other="[PUBS]: O(n log(n))",
+    source="""
+int cost;
+void merge(int *A, int lo, int n) {
+    int i = 0;
+    while (i < n) { cost++; A[lo + i] = A[lo + i]; i++; }
+}
+void mergesort(int *A, int n) {
+    if (n <= 1) { return; }
+    int half = n / 2;
+    mergesort(A, half);
+    mergesort(A, n - half);
+    merge(A, 0, n);
+}
+""",
+)
+
+STRASSEN = ComplexityBenchmark(
+    name="strassen",
+    procedure="strassen",
+    actual="O(n^log2(7))",
+    paper_chora="O(n^log2(7))",
+    paper_other="[Chatterjee et al.]: O(n^2.9)",
+    source="""
+int cost;
+void matrixAdd(int n) {
+    int i = 0;
+    while (i < n) {
+        int j = 0;
+        while (j < n) { cost++; j++; }
+        i++;
+    }
+}
+void strassen(int n) {
+    if (n <= 1) { cost++; return; }
+    int half = n / 2;
+    matrixAdd(n);
+    strassen(half);
+    strassen(half);
+    strassen(half);
+    strassen(half);
+    strassen(half);
+    strassen(half);
+    strassen(half);
+}
+""",
+)
+
+QSORT_CALLS = ComplexityBenchmark(
+    name="qsort_calls",
+    procedure="qsort",
+    substitutions={"lo": 0},
+    actual="O(n)",
+    paper_chora="O(2^n)",
+    paper_other="[Carbonneaux et al.]: O(n)",
+    source="""
+int cost;
+void qsort(int *A, int lo, int n) {
+    cost++;
+    if (n - lo <= 1) { return; }
+    int pivot = nondet(lo, n);
+    qsort(A, lo, pivot);
+    qsort(A, pivot + 1, n);
+}
+""",
+)
+
+QSORT_STEPS = ComplexityBenchmark(
+    name="qsort_steps",
+    procedure="qsortSteps",
+    substitutions={"lo": 0},
+    actual="O(n^2)",
+    paper_chora="O(n*2^n)",
+    paper_other="[Chatterjee et al.]: O(n^2)",
+    source="""
+int cost;
+void qsortSteps(int *A, int lo, int n) {
+    if (n - lo <= 1) { return; }
+    int i = lo;
+    while (i < n) { cost++; i++; }
+    int pivot = nondet(lo, n);
+    qsortSteps(A, lo, pivot);
+    qsortSteps(A, pivot + 1, n);
+}
+""",
+)
+
+CLOSEST_PAIR = ComplexityBenchmark(
+    name="closest_pair",
+    procedure="closestPair",
+    actual="O(n log(n))",
+    paper_chora="n.b.",
+    paper_other="[Chatterjee et al.]: O(n log(n))",
+    source="""
+int cost;
+int closestPair(int *P, int n) {
+    if (n <= 3) { cost++; return 1; }
+    int half = n / 2;
+    int left = closestPair(P, half);
+    int right = closestPair(P, n - half);
+    int best = min(left, right);
+    int i = 0;
+    int strip = 0;
+    while (i < n) {
+        cost++;
+        if (nondet() > 0) { strip = strip + 1; }
+        i = i + 1;
+    }
+    int j = 0;
+    while (j < strip) {
+        int k = 0;
+        while (k < 7 && k < strip) { cost++; k = k + 1; }
+        j = j + 1;
+    }
+    return best;
+}
+""",
+)
+
+ACKERMANN = ComplexityBenchmark(
+    name="ackermann",
+    procedure="ackermann",
+    actual="Ack(n)",
+    paper_chora="n.b.",
+    paper_other="[PUBS]: n.b.",
+    source="""
+int cost;
+int ackermann(int m, int n) {
+    cost++;
+    if (m == 0) { return n + 1; }
+    if (n == 0) { return ackermann(m - 1, 1); }
+    return ackermann(m - 1, ackermann(m, n - 1));
+}
+""",
+)
+
+TABLE1_BENCHMARKS: tuple[ComplexityBenchmark, ...] = (
+    FIBONACCI,
+    HANOI,
+    SUBSET_SUM,
+    BST_COPY,
+    BALL_BINS3,
+    KARATSUBA,
+    MERGESORT,
+    STRASSEN,
+    QSORT_CALLS,
+    QSORT_STEPS,
+    CLOSEST_PAIR,
+    ACKERMANN,
+)
+
+
+def benchmark_by_name(name: str) -> ComplexityBenchmark:
+    for benchmark in TABLE1_BENCHMARKS:
+        if benchmark.name == name:
+            return benchmark
+    raise KeyError(f"no Table 1 benchmark named {name!r}")

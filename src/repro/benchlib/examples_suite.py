@@ -1,0 +1,80 @@
+"""The paper's worked examples as mini-language programs.
+
+* ``SUBSET_SUM_OVERVIEW`` — §2 (Fig. 1): subsetSum / subsetSumAux with the
+  ``nTicks`` counter; the expected summary is
+  ``nTicks' <= nTicks + 2^h - 1``, ``return' <= h - 1``, ``h <= 1 + n - i``.
+* ``DIFFER`` — §4.3 (Fig. 2): the two-region example whose lower bounds need
+  decreasing bounding functions (``(n-1)/2 <= x' <= n``).
+* ``MUTUAL_P1_P2`` — §4.4 (Ex. 4.1): the coupled recurrence
+  ``[b1;b2](h+1) <= [[0,18],[2,0]]·[b1;b2](h) + [17;1]`` with ``6^h`` growth.
+* ``MISSING_BASE_P3_P4`` — §4.5 (Ex. 4.2): P3 has no base case until the
+  equation-system transformation introduces ``P4_no_P3``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SUBSET_SUM_OVERVIEW",
+    "DIFFER",
+    "MUTUAL_P1_P2",
+    "MISSING_BASE_P3_P4",
+]
+
+SUBSET_SUM_OVERVIEW = """
+int nTicks;
+int found;
+int subsetSumAux(int *A, int i, int n, int sum) {
+    nTicks++;
+    if (i >= n) {
+        if (sum == 0) { found = 1; }
+        return 0;
+    }
+    int size = subsetSumAux(A, i + 1, n, sum + A[i]);
+    if (found != 0) { return size + 1; }
+    size = subsetSumAux(A, i + 1, n, sum);
+    return size;
+}
+int subsetSum(int *A, int n) {
+    found = 0;
+    return subsetSumAux(A, 0, n, 0);
+}
+"""
+
+DIFFER = """
+int x;
+int y;
+void differ(int n) {
+    if (n == 0 || n == 1) { x = 0; y = 0; return; }
+    differ(nondet() ? n - 1 : n - 2);
+    int temp = x;
+    differ(nondet() ? n - 1 : n - 2);
+    x = temp + 1;
+    y = y + 1;
+}
+"""
+
+MUTUAL_P1_P2 = """
+int g;
+void P1(int n) {
+    if (n <= 1) { g++; return; }
+    for (int i = 0; i < 18; i++) { P2(n - 1); }
+}
+void P2(int n) {
+    if (n <= 1) { g++; return; }
+    for (int i = 0; i < 2; i++) { P1(n - 1); }
+}
+"""
+
+MISSING_BASE_P3_P4 = """
+int cost;
+void P3(int n) {
+    if (n <= 1) { P4(n - 1); P4(n - 1); return; }
+    P3(n - 1);
+    P4(n - 1);
+}
+void P4(int n) {
+    if (n <= 1) { cost++; return; }
+    P4(n - 1);
+    P3(n - 1);
+}
+"""

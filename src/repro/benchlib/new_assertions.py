@@ -1,0 +1,100 @@
+"""The three hand-written assertion benchmarks of Table 2 (Fig. 5).
+
+``quad`` — a recursive call inside a possibly-unbounded loop, asserting the
+exact closed form of the return value; ``pow2_overflow`` — an assertion
+inside a non-linearly recursive function ruling out numerical overflow;
+``height`` — the size of a tree of recursive calls bounds its height.
+
+The paper's verdicts (Table 2) are recorded so the harness can print the
+same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["AssertionBenchmark", "TABLE2_BENCHMARKS", "assertion_benchmark_by_name"]
+
+
+@dataclass(frozen=True)
+class AssertionBenchmark:
+    """One assertion-checking benchmark plus the paper's per-tool verdicts."""
+
+    name: str
+    source: str
+    expected_chora: bool
+    paper_verdicts: Mapping[str, bool]
+    paper_times: Mapping[str, float]
+
+
+QUAD = AssertionBenchmark(
+    name="quad",
+    expected_chora=True,
+    paper_verdicts={"CHORA": True, "ICRA": True, "UA": False, "UTaipan": True, "VIAP": False},
+    paper_times={"CHORA": 0.70, "ICRA": 1.08, "UA": 900.0, "UTaipan": 4.24, "VIAP": 4.71},
+    source="""
+int quad(int m) {
+    if (m == 0) { return 0; }
+    int retval = 0;
+    do { retval = quad(m - 1) + m; } while (*);
+    return retval;
+}
+int main(int n) {
+    assume(n >= 0);
+    int r = quad(n);
+    assert(r * 2 == n + n * n);
+    return r;
+}
+""",
+)
+
+POW2_OVERFLOW = AssertionBenchmark(
+    name="pow2_overflow",
+    expected_chora=True,
+    paper_verdicts={"CHORA": True, "ICRA": True, "UA": False, "UTaipan": False, "VIAP": False},
+    paper_times={"CHORA": 0.61, "ICRA": 1.28, "UA": 900.0, "UTaipan": 900.0, "VIAP": 1.79},
+    source="""
+int pow2_overflow(int p) {
+    assume(p >= 0);
+    assume(p <= 29);
+    if (p == 0) { return 1; }
+    int r1 = pow2_overflow(p - 1);
+    int r2 = pow2_overflow(p - 1);
+    assert(r1 + r2 < 1073741824);
+    return r1 + r2;
+}
+""",
+)
+
+HEIGHT = AssertionBenchmark(
+    name="height",
+    expected_chora=True,
+    paper_verdicts={"CHORA": True, "ICRA": False, "UA": True, "UTaipan": True, "VIAP": False},
+    paper_times={"CHORA": 0.58, "ICRA": 0.52, "UA": 8.82, "UTaipan": 13.0, "VIAP": 2.85},
+    source="""
+int height(int size) {
+    if (size == 0) { return 0; }
+    int left_size = nondet(0, size);
+    int right_size = size - left_size - 1;
+    int left_height = height(left_size);
+    int right_height = height(right_size);
+    return 1 + max(left_height, right_height);
+}
+int main(int n) {
+    assume(n >= 0);
+    int h = height(n);
+    assert(h <= n);
+    return h;
+}
+""",
+)
+
+TABLE2_BENCHMARKS: tuple[AssertionBenchmark, ...] = (QUAD, POW2_OVERFLOW, HEIGHT)
+
+
+def assertion_benchmark_by_name(name: str) -> AssertionBenchmark:
+    for benchmark in TABLE2_BENCHMARKS:
+        if benchmark.name == name:
+            return benchmark
+    raise KeyError(f"no Table 2 benchmark named {name!r}")

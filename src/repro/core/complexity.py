@@ -1,0 +1,230 @@
+"""Cost-bound extraction and asymptotic classification (for Table 1).
+
+The complexity benchmarks instrument programs with an explicit ``cost``
+variable (the paper's methodology): the analysis then simply bounds the
+relational expression ``cost' - cost`` like any other quantity.  This module
+turns the bounded terms and depth bound of a procedure summary into
+
+* a symbolic cost bound as a sympy expression over the procedure's
+  parameters (substituting the depth bound for the height ``H``), and
+* an asymptotic classification string (``"O(2^n)"``, ``"O(n*log(n))"``,
+  ``"O(n^log2(7))"``, ...), which is what Table 1 reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Optional
+
+import sympy
+
+from ..formulas import RETURN_VARIABLE, Polynomial, post, pre
+from .chora import AnalysisResult
+from .summaries import BoundedTerm, ProcedureSummary
+
+__all__ = [
+    "ComplexityBound",
+    "cost_bound",
+    "return_bound",
+    "classify_asymptotics",
+    "NO_BOUND",
+]
+
+#: The classification string used when no bound could be derived ("n.b.").
+NO_BOUND = "n.b."
+
+
+@dataclass(frozen=True)
+class ComplexityBound:
+    """A symbolic bound plus its asymptotic classification."""
+
+    expression: Optional[sympy.Expr]
+    asymptotic: str
+    parameter: str = "n"
+
+    @property
+    def found(self) -> bool:
+        return self.expression is not None
+
+    def __str__(self) -> str:
+        if not self.found:
+            return NO_BOUND
+        return f"{self.asymptotic}  [{sympy.simplify(self.expression)}]"
+
+
+def _delta_bound(summary: ProcedureSummary, variable: str) -> Optional[BoundedTerm]:
+    """The bounded term of the form ``variable' - variable - c`` (smallest c)."""
+    best: Optional[BoundedTerm] = None
+    for bounded in summary.bounded_terms:
+        linear = bounded.term.linear_coefficients()
+        _, _, nonlinear = bounded.term.split_linear()
+        if not nonlinear.is_zero:
+            continue
+        expected = {post(variable): Fraction(1), pre(variable): Fraction(-1)}
+        if {s: c for s, c in linear.items() if c != 0} != expected:
+            continue
+        if best is None or bounded.term.constant_value > best.term.constant_value:
+            best = bounded
+    return best
+
+
+def _post_bound(summary: ProcedureSummary, variable: str) -> Optional[BoundedTerm]:
+    """The bounded term of the form ``variable' - c``."""
+    for bounded in summary.bounded_terms:
+        linear = bounded.term.linear_coefficients()
+        _, _, nonlinear = bounded.term.split_linear()
+        if not nonlinear.is_zero:
+            continue
+        if {s: c for s, c in linear.items() if c != 0} == {post(variable): Fraction(1)}:
+            return bounded
+    return None
+
+
+def _finalize(
+    summary: ProcedureSummary,
+    bounded: Optional[BoundedTerm],
+    substitutions: Optional[Mapping[str, object]],
+    parameter: str,
+) -> ComplexityBound:
+    if bounded is None or summary.depth_bound.symbolic_bound is None:
+        return ComplexityBound(None, NO_BOUND, parameter)
+    height_bound = summary.depth_bound.symbolic_bound
+    expression = bounded.bound.expression.substitute(height_bound)
+    # The bounded term is  tau = <delta> + constant <= b(H): move the constant.
+    expression = expression - sympy.Rational(
+        bounded.term.constant_value.numerator, bounded.term.constant_value.denominator
+    )
+    if substitutions:
+        expression = expression.subs(
+            {sympy.Symbol(k, positive=True): v for k, v in substitutions.items()}
+        )
+    expression = sympy.expand(expression)
+    return ComplexityBound(expression, classify_asymptotics(expression, parameter), parameter)
+
+
+def cost_bound(
+    result: AnalysisResult,
+    procedure: str,
+    cost_variable: str = "cost",
+    substitutions: Optional[Mapping[str, object]] = None,
+    parameter: str = "n",
+) -> ComplexityBound:
+    """Bound on the increase of ``cost_variable`` over one call of ``procedure``."""
+    summary = result.summaries[procedure]
+    bounded = _delta_bound(summary, cost_variable)
+    return _finalize(summary, bounded, substitutions, parameter)
+
+
+def return_bound(
+    result: AnalysisResult,
+    procedure: str,
+    substitutions: Optional[Mapping[str, object]] = None,
+    parameter: str = "n",
+) -> ComplexityBound:
+    """Bound on the return value of ``procedure``."""
+    summary = result.summaries[procedure]
+    bounded = _post_bound(summary, RETURN_VARIABLE)
+    return _finalize(summary, bounded, substitutions, parameter)
+
+
+# ---------------------------------------------------------------------- #
+# Asymptotic classification
+# ---------------------------------------------------------------------- #
+def classify_asymptotics(expression: sympy.Expr, parameter: str = "n") -> str:
+    """Classify a closed-form bound into a big-O string in ``parameter``.
+
+    The classification looks at each additive term and extracts the triple
+    (exponential base, polynomial degree, logarithm degree); the
+    asymptotically dominant triple is rendered in the notation Table 1 uses.
+    """
+    n = sympy.Symbol(parameter, positive=True)
+    expression = sympy.expand(sympy.sympify(expression))
+    if not expression.has(n):
+        return "O(1)"
+    best: tuple[float, float, int] | None = None
+    for term in expression.as_ordered_terms():
+        triple = _term_growth(term, n)
+        if triple is None:
+            continue
+        if best is None or triple > best:
+            best = triple
+    if best is None:
+        return NO_BOUND
+    return _render(best, parameter)
+
+
+def _term_growth(term: sympy.Expr, n: sympy.Symbol) -> Optional[tuple[float, float, int]]:
+    """(exponential base, polynomial degree, log degree) of one additive term."""
+    base = 1.0
+    degree = 0.0
+    logs = 0
+    for factor in sympy.Mul.make_args(term):
+        factor_base, factor_degree, factor_logs = 1.0, 0.0, 0
+        if isinstance(factor, sympy.log):
+            if factor.has(n):
+                factor_logs = 1
+        elif isinstance(factor, sympy.Pow):
+            pow_base, pow_exp = factor.args
+            if pow_base == n:
+                try:
+                    factor_degree = float(pow_exp)
+                except TypeError:
+                    return None
+            elif not pow_base.has(n) and pow_exp.has(n):
+                # c ** (a*n + b): exponential with base c**a.
+                poly = sympy.Poly(pow_exp, n) if pow_exp.is_polynomial(n) else None
+                if poly is None or poly.degree() > 1:
+                    return None
+                a = float(poly.coeff_monomial(n)) if poly.degree() == 1 else 0.0
+                factor_base = float(pow_base) ** a
+            elif isinstance(pow_base, sympy.log) and pow_base.has(n):
+                try:
+                    factor_logs = int(pow_exp)
+                except TypeError:
+                    return None
+            elif not factor.has(n):
+                pass
+            else:
+                return None
+        elif factor == n:
+            factor_degree = 1.0
+        elif not factor.has(n):
+            pass
+        else:
+            return None
+        base *= factor_base
+        degree += factor_degree
+        logs += factor_logs
+    return (base, degree, logs)
+
+
+def _render(triple: tuple[float, float, int], parameter: str) -> str:
+    base, degree, logs = triple
+    parts: list[str] = []
+    if base > 1.0 + 1e-9:
+        parts.append(f"{_nice_number(base)}^{parameter}")
+    if degree > 1e-9:
+        if abs(degree - round(degree)) < 1e-9:
+            d = int(round(degree))
+            parts.append(parameter if d == 1 else f"{parameter}^{d}")
+        else:
+            # Recognise log2(k) exponents (Karatsuba, Strassen).
+            for k in (3, 5, 6, 7):
+                if abs(degree - math.log2(k)) < 1e-6:
+                    parts.append(f"{parameter}^log2({k})")
+                    break
+            else:
+                parts.append(f"{parameter}^{degree:.3f}")
+    if logs:
+        parts.append(f"log({parameter})" if logs == 1 else f"log({parameter})^{logs}")
+    if not parts:
+        return "O(1)"
+    return "O(" + "*".join(parts) + ")"
+
+
+def _nice_number(value: float) -> str:
+    if abs(value - round(value)) < 1e-9:
+        return str(int(round(value)))
+    return f"{value:.3f}"

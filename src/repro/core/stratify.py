@@ -1,0 +1,167 @@
+"""Alg. 3: constructing a stratified recurrence from candidate inequations.
+
+The candidate inequations produced by Alg. 2 relate the height-``(h+1)``
+bounding functions to the height-``h`` ones, but they need not form a
+solvable system.  Alg. 3 selects a maximal subset satisfying the
+stratification criteria of §4.1:
+
+1. each ``b_k(h+1)`` is defined by at most one inequation;
+2. every ``b_k(h)`` used on a right-hand side has a defining inequation in
+   the selected set;
+3. non-linear uses refer only to strictly lower strata.
+
+Additionally (line 6 of Alg. 3) terms with negative coefficients are dropped
+(a sound weakening, because the bounding functions are non-negative), so that
+the selected inequations — read as equations — have the maximal solution the
+soundness proof (Appendix A) relies on.  Two-region analysis (§4.3) re-runs
+this algorithm with ``keep_negative_constants=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..abstraction import Inequation
+from ..formulas import Monomial, Polynomial, Symbol
+from ..recurrence import RecurrenceEquation, StratifiedSystem
+from .height_analysis import BoundSymbols
+
+__all__ = ["CandidateRecurrence", "build_stratified_system", "normalize_candidate"]
+
+
+@dataclass(frozen=True)
+class CandidateRecurrence:
+    """A candidate inequation rewritten as ``target(h+1) <= rhs`` over height-``h`` symbols."""
+
+    target: Symbol          # the b_k(h) symbol identifying the unknown
+    rhs: Polynomial         # polynomial over b_j(h) symbols (plus a constant)
+    original: Inequation
+
+    def uses(self) -> frozenset[Symbol]:
+        return self.rhs.symbols
+
+    def uses_nonlinearly(self) -> frozenset[Symbol]:
+        out: set[Symbol] = set()
+        for monomial in self.rhs.nonlinear_monomials():
+            out |= monomial.symbols
+        return frozenset(out)
+
+
+def normalize_candidate(
+    inequation: Inequation,
+    bounds: Sequence[BoundSymbols],
+    keep_negative_constants: bool = False,
+) -> Optional[CandidateRecurrence]:
+    """Rewrite an inequation in the form required by Alg. 3, line 5.
+
+    The inequation must be expressible as ``b_k(h+1) <= c_0 + sum_i c_i *
+    (products of b_j(h))`` for exactly one ``k``.  Negative coefficients are
+    clamped to zero (line 6) unless ``keep_negative_constants`` is set, in
+    which case only the non-constant coefficients are clamped (the §4.3
+    upper-region variant).  Returns ``None`` when the inequation does not
+    have the required shape.
+    """
+    h1_by_symbol = {b.at_h_plus_1: b for b in bounds}
+    h_symbols = {b.at_h for b in bounds}
+    polynomial = inequation.polynomial
+    # Find the (unique) h+1 symbol, which must occur linearly.
+    target_bound: Optional[BoundSymbols] = None
+    coefficient = Fraction(0)
+    for monomial, coeff in polynomial.items():
+        mentioned = [s for s in monomial.symbols if s in h1_by_symbol]
+        if not mentioned:
+            continue
+        if monomial.degree != 1 or len(mentioned) != 1:
+            return None
+        symbol = mentioned[0]
+        if target_bound is not None and h1_by_symbol[symbol] is not target_bound:
+            return None
+        target_bound = h1_by_symbol[symbol]
+        coefficient += coeff
+    if target_bound is None or coefficient <= 0:
+        return None
+    # polynomial <= 0 with polynomial = coefficient*b(h+1) + rest
+    # rewrites to b(h+1) <= -rest / coefficient.
+    rest = polynomial - Polynomial.var(target_bound.at_h_plus_1) * coefficient
+    rhs = (-rest).scale(Fraction(1) / coefficient)
+    # The right-hand side may only mention height-h bound symbols.
+    if not rhs.symbols <= h_symbols:
+        return None
+    # Clamp negative coefficients (line 6 of Alg. 3).
+    clamped: dict[Monomial, Fraction] = {}
+    for monomial, coeff in rhs.items():
+        if monomial.is_unit and keep_negative_constants:
+            clamped[monomial] = coeff
+        else:
+            clamped[monomial] = max(Fraction(0), coeff)
+    return CandidateRecurrence(target_bound.at_h, Polynomial(clamped), inequation)
+
+
+def build_stratified_system(
+    inequations: Iterable[Inequation],
+    bounds: Sequence[BoundSymbols],
+    keep_negative_constants: bool = False,
+) -> StratifiedSystem:
+    """Alg. 3: select a maximal stratifiable subset and build the system.
+
+    The unknowns of the returned :class:`StratifiedSystem` are identified by
+    their height-``h`` symbols (``BoundSymbols.at_h``).
+    """
+    candidates: list[CandidateRecurrence] = []
+    for inequation in inequations:
+        normalized = normalize_candidate(inequation, bounds, keep_negative_constants)
+        if normalized is not None:
+            candidates.append(normalized)
+
+    selected: list[CandidateRecurrence] = []
+    selected_targets: set[Symbol] = set()
+    accepted: set[int] = set()          # indices into `candidates` already accepted
+    accepted_defines: set[Symbol] = set()
+
+    remaining = list(range(len(candidates)))
+    while True:
+        # V <- candidates not yet accepted.
+        current = [j for j in remaining if j not in accepted]
+        # Inner fixed point: drop candidates whose uses cannot be satisfied.
+        changed = True
+        while changed:
+            changed = False
+            defined_in_current = {candidates[j].target for j in current}
+            for j in list(current):
+                candidate = candidates[j]
+                available = defined_in_current | accepted_defines
+                if not candidate.uses() <= available:
+                    current.remove(j)
+                    changed = True
+                    continue
+                if not candidate.uses_nonlinearly() <= accepted_defines:
+                    current.remove(j)
+                    changed = True
+        if not current:
+            break
+        # At most one definition per unknown (choose the first).
+        chosen: dict[Symbol, int] = {}
+        for j in current:
+            chosen.setdefault(candidates[j].target, j)
+        stratum = sorted(chosen.values())
+        for j in stratum:
+            accepted.add(j)
+            accepted_defines.add(candidates[j].target)
+            if candidates[j].target not in selected_targets:
+                selected_targets.add(candidates[j].target)
+                selected.append(candidates[j])
+        # Candidates defining an already-chosen unknown can never be used.
+        remaining = [
+            j
+            for j in remaining
+            if j in accepted or candidates[j].target not in accepted_defines
+        ]
+        if all(j in accepted for j in remaining):
+            break
+
+    equations = [
+        RecurrenceEquation(candidate.target, candidate.rhs) for candidate in selected
+    ]
+    return StratifiedSystem(equations=equations, initial_value=0, initial_index=1)

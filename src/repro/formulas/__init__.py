@@ -1,0 +1,92 @@
+"""Symbolic expressions and transition formulas.
+
+This package provides the term language of the paper: polynomials over
+program variables with rational coefficients (*relational expressions*, §3),
+transition formulas over ``Var ∪ Var'``, and the syntactic operations
+(substitution, DNF enumeration, composition/join of transition relations)
+used by the analyses in :mod:`repro.analysis` and :mod:`repro.core`.
+"""
+
+from .symbols import (
+    RETURN_VARIABLE,
+    Symbol,
+    fresh,
+    post,
+    pre,
+    primed,
+    reset_fresh_counter,
+    sym,
+    unprimed,
+)
+from .polynomial import Monomial, Polynomial, as_polynomial
+from .formula import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    AtomKind,
+    Exists,
+    FalseFormula,
+    Formula,
+    Or,
+    TrueFormula,
+    atom_eq,
+    atom_ge,
+    atom_gt,
+    atom_le,
+    atom_lt,
+    conjoin,
+    disjoin,
+    exists,
+    formula_size,
+    free_symbols,
+    map_atoms,
+    negate,
+    rename,
+    substitute,
+)
+from .dnf import Cube, DEFAULT_CUBE_LIMIT, to_dnf
+from .transition import TransitionFormula
+
+__all__ = [
+    "RETURN_VARIABLE",
+    "Symbol",
+    "fresh",
+    "post",
+    "pre",
+    "primed",
+    "reset_fresh_counter",
+    "sym",
+    "unprimed",
+    "Monomial",
+    "Polynomial",
+    "as_polynomial",
+    "FALSE",
+    "TRUE",
+    "And",
+    "Atom",
+    "AtomKind",
+    "Exists",
+    "FalseFormula",
+    "Formula",
+    "Or",
+    "TrueFormula",
+    "atom_eq",
+    "atom_ge",
+    "atom_gt",
+    "atom_le",
+    "atom_lt",
+    "conjoin",
+    "disjoin",
+    "exists",
+    "formula_size",
+    "free_symbols",
+    "map_atoms",
+    "negate",
+    "rename",
+    "substitute",
+    "Cube",
+    "DEFAULT_CUBE_LIMIT",
+    "to_dnf",
+    "TransitionFormula",
+]

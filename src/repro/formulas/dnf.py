@@ -1,0 +1,142 @@
+"""Disjunctive-normal-form enumeration of transition formulas.
+
+The symbolic-abstraction procedure (Alg. 1 of the paper) computes the convex
+hull of a formula by enumerating the cubes of its DNF, projecting each cube,
+and joining the projections.  The paper enumerates cubes lazily with an SMT
+solver; this implementation enumerates them syntactically (existential
+quantifiers are hoisted, conjunction is distributed over disjunction) and
+lets the caller prune unsatisfiable cubes with the LP-based polyhedral check.
+
+A hard cap on the number of cubes guards against exponential blow-up; when it
+is hit the remaining disjuncts are merged conservatively (each is kept as a
+single under-split cube containing only its common top-level atoms, which is a
+sound over-approximation for the convex-hull client).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .formula import (
+    And,
+    Atom,
+    Exists,
+    FalseFormula,
+    Formula,
+    Or,
+    TrueFormula,
+)
+from .symbols import Symbol
+
+__all__ = ["Cube", "to_dnf", "DEFAULT_CUBE_LIMIT", "DnfLimitExceeded"]
+
+#: Default maximum number of cubes produced by :func:`to_dnf`.
+DEFAULT_CUBE_LIMIT = 512
+
+
+class DnfLimitExceeded(Exception):
+    """Raised internally when the cube limit would be exceeded."""
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A conjunction of atoms together with existentially bound symbols."""
+
+    atoms: tuple[Atom, ...]
+    bound: frozenset[Symbol] = frozenset()
+
+    def conjoin(self, other: "Cube") -> "Cube":
+        return Cube(self.atoms + other.atoms, self.bound | other.bound)
+
+    def with_bound(self, symbols: Iterable[Symbol]) -> "Cube":
+        return Cube(self.atoms, self.bound | frozenset(symbols))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.atoms
+
+    def __str__(self) -> str:
+        rendered = " /\\ ".join(str(a) for a in self.atoms) or "true"
+        if self.bound:
+            names = ", ".join(str(s) for s in sorted(self.bound))
+            return f"exists {names}. {rendered}"
+        return rendered
+
+
+def to_dnf(formula: Formula, cube_limit: int = DEFAULT_CUBE_LIMIT) -> list[Cube]:
+    """Enumerate the cubes of the DNF of ``formula``.
+
+    Returns a (possibly empty) list of :class:`Cube`.  An empty list means the
+    formula is syntactically ``false``.  A cube with no atoms means ``true``.
+
+    The result over-approximates the formula whenever the ``cube_limit`` is
+    hit: disjunctions that would blow past the limit are collapsed by keeping
+    only atoms common to all of their disjuncts (a sound weakening for clients
+    that compute over-approximations, such as the convex hull).
+    """
+    return _dnf(formula, cube_limit)
+
+
+def _dnf(formula: Formula, limit: int) -> list[Cube]:
+    if isinstance(formula, TrueFormula):
+        return [Cube(())]
+    if isinstance(formula, FalseFormula):
+        return []
+    if isinstance(formula, Atom):
+        return [Cube((formula,))]
+    if isinstance(formula, Exists):
+        inner = _dnf(formula.body, limit)
+        return [cube.with_bound(formula.symbols) for cube in inner]
+    if isinstance(formula, Or):
+        cubes: list[Cube] = []
+        for child in formula.children:
+            cubes.extend(_dnf(child, limit))
+            if len(cubes) > limit:
+                return _collapse(formula, limit)
+        return cubes
+    if isinstance(formula, And):
+        product: list[Cube] = [Cube(())]
+        for child in formula.children:
+            child_cubes = _dnf(child, limit)
+            if not child_cubes:
+                return []
+            if len(product) * len(child_cubes) > limit:
+                collapsed = _collapse_cubes(child_cubes)
+                child_cubes = [collapsed]
+            product = [p.conjoin(c) for p in product for c in child_cubes]
+            if len(product) > limit:
+                product = [_collapse_cubes(product)]
+        return product
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _collapse(formula: Or, limit: int) -> list[Cube]:
+    """Collapse a disjunction that exceeded the limit into one weak cube."""
+    child_cubes: list[Cube] = []
+    for child in formula.children:
+        cubes = _dnf(child, limit)
+        if not cubes:
+            continue
+        child_cubes.append(_collapse_cubes(cubes))
+    if not child_cubes:
+        return []
+    return [_common_atoms(child_cubes)]
+
+
+def _collapse_cubes(cubes: Sequence[Cube]) -> Cube:
+    """Merge several cubes into one keeping only their shared atoms."""
+    if len(cubes) == 1:
+        return cubes[0]
+    return _common_atoms(cubes)
+
+
+def _common_atoms(cubes: Sequence[Cube]) -> Cube:
+    shared = set(cubes[0].atoms)
+    bound: frozenset[Symbol] = frozenset()
+    for cube in cubes[1:]:
+        shared &= set(cube.atoms)
+    for cube in cubes:
+        bound |= cube.bound
+    ordered = tuple(a for a in cubes[0].atoms if a in shared)
+    return Cube(ordered, bound)

@@ -1,0 +1,59 @@
+"""The mini-language substrate: AST, parser, semantics, CFGs, call graphs,
+and a concrete interpreter.
+
+The benchmark programs of the paper (Table 1, Table 2, Figure 3, and the
+worked examples) are written in this language; see
+:mod:`repro.benchlib` for their sources.
+"""
+
+from . import ast
+from .parser import ParseError, parse_program, parse_procedure_body, tokenize
+from .semantics import (
+    SemanticsError,
+    assign_transition,
+    assume_transition,
+    havoc_transition,
+    translate_condition,
+    translate_expression,
+)
+from .cfg import (
+    AssertionSite,
+    CallEdge,
+    ControlFlowGraph,
+    WeightEdge,
+    build_cfg,
+    hoist_calls_in_procedure,
+)
+from .callgraph import CallGraph, build_call_graph
+from .interp import (
+    AssertionFailure,
+    ExecutionLimitExceeded,
+    ExecutionResult,
+    Interpreter,
+)
+
+__all__ = [
+    "ast",
+    "ParseError",
+    "parse_program",
+    "parse_procedure_body",
+    "tokenize",
+    "SemanticsError",
+    "assign_transition",
+    "assume_transition",
+    "havoc_transition",
+    "translate_condition",
+    "translate_expression",
+    "AssertionSite",
+    "CallEdge",
+    "ControlFlowGraph",
+    "WeightEdge",
+    "build_cfg",
+    "hoist_calls_in_procedure",
+    "CallGraph",
+    "build_call_graph",
+    "AssertionFailure",
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "Interpreter",
+]

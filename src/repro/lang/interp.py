@@ -1,0 +1,299 @@
+"""A concrete interpreter for the mini-language.
+
+The interpreter is the repository's ground-truth oracle: tests and benchmarks
+run the benchmark programs concretely (resolving non-determinism with a seeded
+random generator) and check that the bounds CHORA computes really do
+over-approximate the observed behaviour (cost counters, return values,
+recursion depths).
+
+Semantics notes
+---------------
+* All variables are mathematical integers (no overflow).
+* ``nondet()`` draws from a configurable range; ``nondet(lo, hi)`` draws
+  uniformly from ``[lo, hi)``.
+* Array reads draw a non-deterministic value unless the array was passed as a
+  concrete Python sequence, in which case real contents are used.
+* Assertion failures raise :class:`AssertionFailure`; resource limits raise
+  :class:`ExecutionLimitExceeded`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from . import ast
+
+__all__ = [
+    "AssertionFailure",
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "Interpreter",
+]
+
+
+class AssertionFailure(Exception):
+    """A program assertion evaluated to false."""
+
+
+class ExecutionLimitExceeded(Exception):
+    """The step or recursion-depth limit was exceeded."""
+
+
+class _ReturnSignal(Exception):
+    """Internal control-flow signal for ``return``."""
+
+    def __init__(self, value: Optional[int]):
+        super().__init__()
+        self.value = value
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one procedure."""
+
+    return_value: Optional[int]
+    globals: dict[str, int]
+    steps: int
+    max_recursion_depth: int
+
+
+@dataclass
+class Interpreter:
+    """Concrete executor for programs."""
+
+    program: ast.Program
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    max_steps: int = 1_000_000
+    max_depth: int = 10_000
+    nondet_range: tuple[int, int] = (-16, 16)
+
+    def __post_init__(self) -> None:
+        self._globals: dict[str, int] = {}
+        self._steps = 0
+        self._max_depth_seen = 0
+        self._arrays: dict[str, Sequence[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        procedure_name: str,
+        arguments: Mapping[str, int] | Sequence[int] = (),
+        globals_init: Mapping[str, int] | None = None,
+        arrays: Mapping[str, Sequence[int]] | None = None,
+    ) -> ExecutionResult:
+        """Run a procedure from a fresh global state."""
+        self._steps = 0
+        self._max_depth_seen = 0
+        self._arrays = dict(arrays or {})
+        self._globals = {g.name: (g.init or 0) for g in self.program.globals}
+        if globals_init:
+            self._globals.update(globals_init)
+        procedure = self.program.procedure(procedure_name)
+        bound = self._bind_arguments(procedure, arguments)
+        value = self._call(procedure, bound, depth=1)
+        return ExecutionResult(
+            return_value=value,
+            globals=dict(self._globals),
+            steps=self._steps,
+            max_recursion_depth=self._max_depth_seen,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Procedure calls
+    # ------------------------------------------------------------------ #
+    def _bind_arguments(
+        self, procedure: ast.Procedure, arguments: Mapping[str, int] | Sequence[int]
+    ) -> dict[str, int]:
+        scalars = procedure.scalar_parameters
+        if isinstance(arguments, Mapping):
+            return {name: int(arguments.get(name, 0)) for name in scalars}
+        values = list(arguments)
+        bound: dict[str, int] = {}
+        for index, name in enumerate(scalars):
+            bound[name] = int(values[index]) if index < len(values) else 0
+        return bound
+
+    def _call(self, procedure: ast.Procedure, locals_: dict[str, int], depth: int) -> Optional[int]:
+        if depth > self.max_depth:
+            raise ExecutionLimitExceeded(f"recursion depth exceeded {self.max_depth}")
+        self._max_depth_seen = max(self._max_depth_seen, depth)
+        frame = dict(locals_)
+        try:
+            self._execute_block(procedure.body, frame, depth)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise ExecutionLimitExceeded(f"step limit exceeded {self.max_steps}")
+
+    def _execute_block(self, block: ast.Block, frame: dict[str, int], depth: int) -> None:
+        for statement in block.statements:
+            self._execute(statement, frame, depth)
+
+    def _execute(self, statement: ast.Stmt, frame: dict[str, int], depth: int) -> None:
+        self._tick()
+        if isinstance(statement, ast.Block):
+            self._execute_block(statement, frame, depth)
+        elif isinstance(statement, ast.VarDecl):
+            frame[statement.name] = (
+                self._evaluate(statement.init, frame, depth) if statement.init is not None else 0
+            )
+        elif isinstance(statement, ast.Assign):
+            self._store(statement.name, self._evaluate(statement.value, frame, depth), frame)
+        elif isinstance(statement, ast.Havoc):
+            self._store(statement.name, self._draw_nondet(), frame)
+        elif isinstance(statement, ast.ArrayWrite):
+            self._evaluate(statement.value, frame, depth)  # effects only
+        elif isinstance(statement, ast.CallStmt):
+            self._evaluate(statement.call, frame, depth)
+        elif isinstance(statement, ast.If):
+            if self._evaluate_condition(statement.condition, frame, depth):
+                self._execute_block(statement.then_branch, frame, depth)
+            elif statement.else_branch is not None:
+                self._execute_block(statement.else_branch, frame, depth)
+        elif isinstance(statement, ast.While):
+            while self._evaluate_condition(statement.condition, frame, depth):
+                self._execute_block(statement.body, frame, depth)
+                self._tick()
+        elif isinstance(statement, ast.Return):
+            value = (
+                self._evaluate(statement.value, frame, depth)
+                if statement.value is not None
+                else None
+            )
+            raise _ReturnSignal(value)
+        elif isinstance(statement, ast.Assert):
+            if not self._evaluate_condition(statement.condition, frame, depth):
+                raise AssertionFailure(str(statement.condition))
+        elif isinstance(statement, ast.Assume):
+            # A failed assume silently blocks the execution; for the concrete
+            # oracle we treat it as an assertion on the chosen inputs.
+            if not self._evaluate_condition(statement.condition, frame, depth):
+                raise AssertionFailure(f"assume({statement.condition}) blocked")
+        else:
+            raise TypeError(f"unsupported statement {statement!r}")
+
+    def _store(self, name: str, value: int, frame: dict[str, int]) -> None:
+        if name in frame:
+            frame[name] = value
+        elif name in self._globals:
+            self._globals[name] = value
+        else:
+            frame[name] = value
+
+    def _load(self, name: str, frame: dict[str, int]) -> int:
+        if name in frame:
+            return frame[name]
+        if name in self._globals:
+            return self._globals[name]
+        raise KeyError(f"undefined variable {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _draw_nondet(self, lower: Optional[int] = None, upper: Optional[int] = None) -> int:
+        low = lower if lower is not None else self.nondet_range[0]
+        high = (upper - 1) if upper is not None else self.nondet_range[1]
+        if high < low:
+            high = low
+        return self.rng.randint(low, high)
+
+    def _evaluate(self, expression: ast.Expr, frame: dict[str, int], depth: int) -> int:
+        if isinstance(expression, ast.IntLit):
+            return expression.value
+        if isinstance(expression, ast.VarRef):
+            return self._load(expression.name, frame)
+        if isinstance(expression, ast.UnaryNeg):
+            return -self._evaluate(expression.operand, frame, depth)
+        if isinstance(expression, ast.BinOp):
+            left = self._evaluate(expression.left, frame, depth)
+            right = self._evaluate(expression.right, frame, depth)
+            if expression.op == "+":
+                return left + right
+            if expression.op == "-":
+                return left - right
+            if expression.op == "*":
+                return left * right
+            if expression.op == "/":
+                if right == 0:
+                    raise ZeroDivisionError("division by zero in interpreted program")
+                return left // right
+            raise TypeError(f"unsupported operator {expression.op!r}")
+        if isinstance(expression, ast.Nondet):
+            lower = (
+                self._evaluate(expression.lower, frame, depth)
+                if expression.lower is not None
+                else None
+            )
+            upper = (
+                self._evaluate(expression.upper, frame, depth)
+                if expression.upper is not None
+                else None
+            )
+            return self._draw_nondet(lower, upper)
+        if isinstance(expression, ast.ArrayRead):
+            array = self._arrays.get(expression.array)
+            if array is not None:
+                index = self._evaluate(expression.index, frame, depth)
+                if 0 <= index < len(array):
+                    return int(array[index])
+            return self._draw_nondet()
+        if isinstance(expression, ast.MinMax):
+            left = self._evaluate(expression.left, frame, depth)
+            right = self._evaluate(expression.right, frame, depth)
+            return max(left, right) if expression.is_max else min(left, right)
+        if isinstance(expression, ast.Ternary):
+            if self._evaluate_condition(expression.condition, frame, depth):
+                return self._evaluate(expression.then_value, frame, depth)
+            return self._evaluate(expression.else_value, frame, depth)
+        if isinstance(expression, ast.CallExpr):
+            procedure = self.program.procedure(expression.callee)
+            # Bind parameters positionally; arguments in array positions are
+            # not evaluated (arrays carry no integer state).
+            arguments: dict[str, int] = {}
+            for parameter, argument in zip(procedure.parameters, expression.args):
+                if parameter.is_array:
+                    continue
+                arguments[parameter.name] = self._evaluate(argument, frame, depth)
+            frame_in = {name: arguments.get(name, 0) for name in procedure.scalar_parameters}
+            result = self._call(procedure, frame_in, depth + 1)
+            return result if result is not None else 0
+        raise TypeError(f"unsupported expression {expression!r}")
+
+    def _evaluate_condition(self, condition: ast.Cond, frame: dict[str, int], depth: int) -> bool:
+        if isinstance(condition, ast.BoolLit):
+            return condition.value
+        if isinstance(condition, ast.NondetBool):
+            return bool(self.rng.getrandbits(1))
+        if isinstance(condition, ast.NotCond):
+            return not self._evaluate_condition(condition.operand, frame, depth)
+        if isinstance(condition, ast.BoolOp):
+            if condition.op == "&&":
+                return self._evaluate_condition(condition.left, frame, depth) and (
+                    self._evaluate_condition(condition.right, frame, depth)
+                )
+            return self._evaluate_condition(condition.left, frame, depth) or (
+                self._evaluate_condition(condition.right, frame, depth)
+            )
+        if isinstance(condition, ast.Compare):
+            left = self._evaluate(condition.left, frame, depth)
+            right = self._evaluate(condition.right, frame, depth)
+            return {
+                "==": left == right,
+                "!=": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[condition.op]
+        raise TypeError(f"unsupported condition {condition!r}")

@@ -1,0 +1,577 @@
+"""Parser for the mini-language (a small C-like surface syntax).
+
+The benchmark programs of the paper are written in this syntax, e.g.::
+
+    int nTicks;
+    int subsetSumAux(int *A, int i, int n, int sum) {
+        nTicks = nTicks + 1;
+        if (i >= n) { ... return 0; }
+        int size = subsetSumAux(A, i + 1, n, sum + A[i]);
+        ...
+    }
+
+Supported constructs: global ``int`` declarations, ``int``/``void``
+procedures with ``int`` and ``int *`` (array) parameters, local declarations,
+assignments (including ``+=``, ``-=``, ``++``, ``--`` sugar), ``if``/``else``,
+``while``, ``for``, ``do``/``while``, ``return``, ``assert``, ``assume``,
+calls (in statement or expression position), ``nondet()`` / ``nondet(lo, hi)``
+/ ``nondet_bool()`` / ``*`` non-determinism, ``min``/``max``, the ternary
+operator, array reads/writes, and ``//`` / ``/* */`` comments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .ast import (
+    ArrayRead,
+    ArrayWrite,
+    Assert,
+    Assign,
+    Assume,
+    BinOp,
+    Block,
+    BoolLit,
+    BoolOp,
+    CallExpr,
+    CallStmt,
+    Compare,
+    Cond,
+    Expr,
+    GlobalDecl,
+    Havoc,
+    If,
+    IntLit,
+    MinMax,
+    Nondet,
+    NondetBool,
+    NotCond,
+    Parameter,
+    Procedure,
+    Program,
+    Return,
+    Stmt,
+    Ternary,
+    UnaryNeg,
+    VarDecl,
+    VarRef,
+    While,
+)
+
+__all__ = ["ParseError", "parse_program", "parse_procedure_body", "tokenize"]
+
+
+class ParseError(Exception):
+    """Raised on malformed input, with a line number when available."""
+
+
+_KEYWORDS = {
+    "int",
+    "void",
+    "bool",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "return",
+    "assert",
+    "assume",
+    "true",
+    "false",
+    "nondet",
+    "nondet_bool",
+    "min",
+    "max",
+}
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<number>\d+)
+  | (?P<identifier>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<symbol>\+\+|--|\+=|-=|\*=|/=|==|!=|<=|>=|&&|\|\||[-+*/%<>=!;,(){}\[\]?:&|])
+  | (?P<whitespace>\s+)
+  | (?P<error>.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'number' | 'identifier' | 'keyword' | 'symbol' | 'eof'
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize source text, dropping comments and whitespace."""
+    tokens: list[Token] = []
+    line = 1
+    for match in _TOKEN_PATTERN.finditer(source):
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("whitespace", "comment"):
+            line += text.count("\n")
+            continue
+        if kind == "error":
+            raise ParseError(f"line {line}: unexpected character {text!r}")
+        if kind == "identifier" and text in _KEYWORDS:
+            kind = "keyword"
+        tokens.append(Token(kind, text, line))
+        line += text.count("\n")
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        return self.peek().text == text
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        token = self.peek()
+        if token.text != text:
+            raise ParseError(
+                f"line {token.line}: expected {text!r} but found {token.text!r}"
+            )
+        return self.advance()
+
+    def expect_identifier(self) -> str:
+        token = self.peek()
+        if token.kind != "identifier":
+            raise ParseError(
+                f"line {token.line}: expected an identifier but found {token.text!r}"
+            )
+        self.advance()
+        return token.text
+
+    # ------------------------------------------------------------------ #
+    # Top level
+    # ------------------------------------------------------------------ #
+    def parse_program(self) -> Program:
+        globals_: list[GlobalDecl] = []
+        procedures: list[Procedure] = []
+        while self.peek().kind != "eof":
+            if self.peek().text in ("int", "void", "bool"):
+                # Disambiguate "int x;" (global) from "int f(...) {...}".
+                if (
+                    self.peek(1).kind == "identifier"
+                    and self.peek(2).text == "("
+                ):
+                    procedures.append(self.parse_procedure())
+                else:
+                    globals_.extend(self.parse_global())
+            else:
+                token = self.peek()
+                raise ParseError(
+                    f"line {token.line}: expected a declaration, found {token.text!r}"
+                )
+        return Program(tuple(globals_), tuple(procedures))
+
+    def parse_global(self) -> list[GlobalDecl]:
+        self.advance()  # type keyword
+        declarations: list[GlobalDecl] = []
+        while True:
+            name = self.expect_identifier()
+            init: Optional[int] = None
+            if self.accept("="):
+                negative = self.accept("-")
+                token = self.peek()
+                if token.kind != "number":
+                    raise ParseError(
+                        f"line {token.line}: global initializers must be constants"
+                    )
+                self.advance()
+                init = -int(token.text) if negative else int(token.text)
+            declarations.append(GlobalDecl(name, init))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        return declarations
+
+    def parse_procedure(self) -> Procedure:
+        kind = self.advance().text  # int | void | bool
+        name = self.expect_identifier()
+        self.expect("(")
+        parameters: list[Parameter] = []
+        if not self.check(")"):
+            while True:
+                if self.peek().text in ("int", "bool"):
+                    self.advance()
+                is_array = self.accept("*")
+                parameter_name = self.expect_identifier()
+                is_array = is_array or self.accept("[") and self.expect("]") is not None
+                parameters.append(Parameter(parameter_name, bool(is_array)))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return Procedure(name, tuple(parameters), body, returns_value=(kind != "void"))
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def parse_block(self) -> Block:
+        self.expect("{")
+        statements: list[Stmt] = []
+        while not self.check("}"):
+            statements.append(self.parse_statement())
+        self.expect("}")
+        return Block(tuple(statements))
+
+    def parse_statement(self) -> Stmt:
+        token = self.peek()
+        if token.text == "{":
+            return self.parse_block()
+        if token.text in ("int", "bool"):
+            return self.parse_declaration()
+        if token.text == "if":
+            return self.parse_if()
+        if token.text == "while":
+            return self.parse_while()
+        if token.text == "do":
+            return self.parse_do_while()
+        if token.text == "for":
+            return self.parse_for()
+        if token.text == "return":
+            self.advance()
+            if self.accept(";"):
+                return Return(None)
+            value = self.parse_expression()
+            self.expect(";")
+            return Return(value)
+        if token.text == "assert":
+            self.advance()
+            self.expect("(")
+            condition = self.parse_condition()
+            self.expect(")")
+            self.expect(";")
+            return Assert(condition)
+        if token.text == "assume":
+            self.advance()
+            self.expect("(")
+            condition = self.parse_condition()
+            self.expect(")")
+            self.expect(";")
+            return Assume(condition)
+        if token.text == ";":
+            self.advance()
+            return Block(())
+        return self.parse_simple_statement(require_semicolon=True)
+
+    def parse_declaration(self) -> Stmt:
+        self.advance()  # type keyword
+        name = self.expect_identifier()
+        init: Optional[Expr] = None
+        if self.accept("="):
+            init = self.parse_expression()
+        self.expect(";")
+        return VarDecl(name, init)
+
+    def parse_if(self) -> Stmt:
+        self.expect("if")
+        self.expect("(")
+        condition = self.parse_condition()
+        self.expect(")")
+        then_branch = self.parse_statement_as_block()
+        else_branch: Optional[Block] = None
+        if self.accept("else"):
+            else_branch = self.parse_statement_as_block()
+        return If(condition, then_branch, else_branch)
+
+    def parse_statement_as_block(self) -> Block:
+        statement = self.parse_statement()
+        if isinstance(statement, Block):
+            return statement
+        return Block((statement,))
+
+    def parse_while(self) -> Stmt:
+        self.expect("while")
+        self.expect("(")
+        condition = self.parse_condition()
+        self.expect(")")
+        body = self.parse_statement_as_block()
+        return While(condition, body)
+
+    def parse_do_while(self) -> Stmt:
+        # do { body } while (cond);  ==  body; while (cond) { body }
+        self.expect("do")
+        body = self.parse_statement_as_block()
+        self.expect("while")
+        self.expect("(")
+        condition = self.parse_condition()
+        self.expect(")")
+        self.expect(";")
+        return Block((body, While(condition, body)))
+
+    def parse_for(self) -> Stmt:
+        # for (init; cond; update) body  ==  init; while (cond) { body; update }
+        self.expect("for")
+        self.expect("(")
+        init: Stmt = Block(())
+        if not self.check(";"):
+            if self.peek().text in ("int", "bool"):
+                self.advance()
+                name = self.expect_identifier()
+                value = None
+                if self.accept("="):
+                    value = self.parse_expression()
+                init = VarDecl(name, value)
+            else:
+                init = self.parse_simple_statement(require_semicolon=False)
+        self.expect(";")
+        condition: Cond = BoolLit(True)
+        if not self.check(";"):
+            condition = self.parse_condition()
+        self.expect(";")
+        update: Stmt = Block(())
+        if not self.check(")"):
+            update = self.parse_simple_statement(require_semicolon=False)
+        self.expect(")")
+        body = self.parse_statement_as_block()
+        loop_body = Block(body.statements + (update,))
+        return Block((init, While(condition, loop_body)))
+
+    def parse_simple_statement(self, require_semicolon: bool) -> Stmt:
+        """Assignments, compound assignments, increments, calls, array writes."""
+        token = self.peek()
+        if token.kind != "identifier":
+            raise ParseError(
+                f"line {token.line}: expected a statement, found {token.text!r}"
+            )
+        name = self.expect_identifier()
+        statement: Stmt
+        if self.check("["):
+            self.expect("[")
+            index = self.parse_expression()
+            self.expect("]")
+            self.expect("=")
+            value = self.parse_expression()
+            statement = ArrayWrite(name, index, value)
+        elif self.accept("="):
+            value = self.parse_expression()
+            if isinstance(value, Nondet) and value.lower is None and value.upper is None:
+                statement = Havoc(name)
+            else:
+                statement = Assign(name, value)
+        elif self.accept("++"):
+            statement = Assign(name, BinOp("+", VarRef(name), IntLit(1)))
+        elif self.accept("--"):
+            statement = Assign(name, BinOp("-", VarRef(name), IntLit(1)))
+        elif self.peek().text in ("+=", "-=", "*=", "/="):
+            operator = self.advance().text[0]
+            value = self.parse_expression()
+            statement = Assign(name, BinOp(operator, VarRef(name), value))
+        elif self.check("("):
+            arguments = self.parse_call_arguments()
+            statement = CallStmt(CallExpr(name, arguments))
+        else:
+            raise ParseError(
+                f"line {token.line}: cannot parse statement starting with {name!r}"
+            )
+        if require_semicolon:
+            self.expect(";")
+        return statement
+
+    def parse_call_arguments(self) -> tuple[Expr, ...]:
+        self.expect("(")
+        arguments: list[Expr] = []
+        if not self.check(")"):
+            while True:
+                arguments.append(self.parse_expression())
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        return tuple(arguments)
+
+    # ------------------------------------------------------------------ #
+    # Conditions
+    # ------------------------------------------------------------------ #
+    def parse_condition(self) -> Cond:
+        return self.parse_disjunction()
+
+    def parse_disjunction(self) -> Cond:
+        left = self.parse_conjunction()
+        while self.accept("||"):
+            right = self.parse_conjunction()
+            left = BoolOp("||", left, right)
+        return left
+
+    def parse_conjunction(self) -> Cond:
+        left = self.parse_condition_atom()
+        while self.accept("&&"):
+            right = self.parse_condition_atom()
+            left = BoolOp("&&", left, right)
+        return left
+
+    def parse_condition_atom(self) -> Cond:
+        token = self.peek()
+        if self.accept("!"):
+            return NotCond(self.parse_condition_atom())
+        if token.text == "true":
+            self.advance()
+            return BoolLit(True)
+        if token.text == "false":
+            self.advance()
+            return BoolLit(False)
+        if token.text == "*" and self.peek(1).text in (")", "&&", "||"):
+            self.advance()
+            return NondetBool()
+        if token.text == "nondet_bool":
+            self.advance()
+            self.expect("(")
+            self.expect(")")
+            return NondetBool()
+        if token.text == "(":
+            # Could be a parenthesized condition or a parenthesized expression.
+            saved = self.position
+            try:
+                self.advance()
+                condition = self.parse_condition()
+                self.expect(")")
+                if self.peek().text in ("==", "!=", "<", "<=", ">", ">="):
+                    raise ParseError("re-parse as expression")
+                return condition
+            except ParseError:
+                self.position = saved
+        # Note: conditions compare *additive* expressions (not ternaries), so
+        # that re-parsing the prefix of `c ? a : b` as a condition terminates.
+        left = self.parse_additive()
+        if self.peek().text in ("==", "!=", "<", "<=", ">", ">="):
+            operator = self.advance().text
+            right = self.parse_additive()
+            return Compare(operator, left, right)
+        # A bare expression used as a condition means "expr != 0"; a bare
+        # unbounded nondet() used as a condition is a non-deterministic bool.
+        if isinstance(left, Nondet) and left.lower is None and left.upper is None:
+            return NondetBool()
+        return Compare("!=", left, IntLit(0))
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def parse_expression(self) -> Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> Expr:
+        # A ternary whose condition is an additive expression or nondet():
+        # we first parse an additive expression; if '?' follows, reinterpret.
+        start = self.position
+        value = self.parse_additive()
+        if self.check("?"):
+            # Re-parse the prefix as a condition for full generality.
+            self.position = start
+            condition = self.parse_condition()
+            self.expect("?")
+            then_value = self.parse_expression()
+            self.expect(":")
+            else_value = self.parse_expression()
+            return Ternary(condition, then_value, else_value)
+        return value
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.peek().text in ("+", "-"):
+            operator = self.advance().text
+            right = self.parse_multiplicative()
+            left = BinOp(operator, left, right)
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.peek().text in ("*", "/"):
+            operator = self.advance().text
+            right = self.parse_unary()
+            left = BinOp(operator, left, right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept("-"):
+            return UnaryNeg(self.parse_unary())
+        if self.accept("+"):
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return IntLit(int(token.text))
+        if token.text == "(":
+            self.advance()
+            value = self.parse_expression()
+            self.expect(")")
+            return value
+        if token.text == "nondet":
+            self.advance()
+            arguments = self.parse_call_arguments()
+            if not arguments:
+                return Nondet()
+            if len(arguments) == 2:
+                return Nondet(arguments[0], arguments[1])
+            raise ParseError(
+                f"line {token.line}: nondet takes zero or two arguments"
+            )
+        if token.text in ("min", "max"):
+            self.advance()
+            arguments = self.parse_call_arguments()
+            if len(arguments) != 2:
+                raise ParseError(f"line {token.line}: {token.text} takes two arguments")
+            return MinMax(token.text == "max", arguments[0], arguments[1])
+        if token.kind == "identifier":
+            name = self.expect_identifier()
+            if self.check("("):
+                arguments = self.parse_call_arguments()
+                return CallExpr(name, arguments)
+            if self.accept("["):
+                index = self.parse_expression()
+                self.expect("]")
+                return ArrayRead(name, index)
+            return VarRef(name)
+        raise ParseError(
+            f"line {token.line}: expected an expression, found {token.text!r}"
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse a complete program (globals + procedures)."""
+    parser = _Parser(tokenize(source))
+    return parser.parse_program()
+
+
+def parse_procedure_body(source: str) -> Block:
+    """Parse a brace-delimited statement block (used by tests)."""
+    parser = _Parser(tokenize(source))
+    block = parser.parse_block()
+    token = parser.peek()
+    if token.kind != "eof":
+        raise ParseError(f"line {token.line}: trailing input {token.text!r}")
+    return block

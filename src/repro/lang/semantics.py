@@ -1,0 +1,276 @@
+"""Translation from mini-language syntax to transition formulas.
+
+Each non-call statement denotes a :class:`~repro.formulas.TransitionFormula`
+over the program variables it touches; conditions denote formulas over
+pre-state symbols.  The translation follows the integer semantics used by the
+paper's front end:
+
+* strict comparisons are translated with the integer tightening
+  ``a < b  ==  a <= b - 1``;
+* ``!=`` becomes a disjunction of strict comparisons;
+* integer division ``e / c`` by a positive constant ``c`` is modelled
+  relationally by a fresh quotient symbol ``q`` with
+  ``c*q <= e  /\\  e <= c*q + (c - 1)``, which is exact floor division for
+  non-negative dividends (the divide-and-conquer benchmarks only divide
+  non-negative sizes);
+* ``nondet()`` introduces an unconstrained fresh symbol, ``nondet(lo, hi)``
+  adds ``lo <= v < hi``;
+* array reads are unconstrained fresh symbols and array writes are no-ops
+  (the analysis tracks integer state only, as in the paper);
+* ``min``/``max`` and the ternary operator introduce a fresh symbol with a
+  disjunctive defining constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..formulas import (
+    FALSE,
+    TRUE,
+    Formula,
+    Polynomial,
+    Symbol,
+    TransitionFormula,
+    atom_eq,
+    atom_ge,
+    atom_le,
+    conjoin,
+    disjoin,
+    exists,
+    fresh,
+    negate,
+    post,
+    pre,
+)
+from . import ast
+
+__all__ = ["ExprTranslation", "translate_expression", "translate_condition",
+           "assign_transition", "assume_transition", "havoc_transition",
+           "SemanticsError"]
+
+
+class SemanticsError(Exception):
+    """Raised for constructs the relational semantics does not support."""
+
+
+@dataclass
+class ExprTranslation:
+    """Result of translating an expression over *pre-state* symbols.
+
+    ``value`` is a polynomial over pre-state program symbols and auxiliary
+    fresh symbols; ``constraints`` defines those auxiliary symbols; ``fresh``
+    lists them so callers can existentially quantify them.
+    """
+
+    value: Polynomial
+    constraints: Formula = TRUE
+    fresh_symbols: tuple[Symbol, ...] = ()
+
+    def merge(self, other: "ExprTranslation") -> tuple[Polynomial, Polynomial, Formula, tuple[Symbol, ...]]:
+        return (
+            self.value,
+            other.value,
+            conjoin([self.constraints, other.constraints]),
+            self.fresh_symbols + other.fresh_symbols,
+        )
+
+
+def translate_expression(expression: ast.Expr) -> ExprTranslation:
+    """Translate an expression to a polynomial plus defining constraints."""
+    if isinstance(expression, ast.IntLit):
+        return ExprTranslation(Polynomial.constant(expression.value))
+    if isinstance(expression, ast.VarRef):
+        return ExprTranslation(Polynomial.var(pre(expression.name)))
+    if isinstance(expression, ast.UnaryNeg):
+        inner = translate_expression(expression.operand)
+        return ExprTranslation(-inner.value, inner.constraints, inner.fresh_symbols)
+    if isinstance(expression, ast.BinOp):
+        left = translate_expression(expression.left)
+        right = translate_expression(expression.right)
+        lvalue, rvalue, constraints, fresh_symbols = left.merge(right)
+        if expression.op == "+":
+            return ExprTranslation(lvalue + rvalue, constraints, fresh_symbols)
+        if expression.op == "-":
+            return ExprTranslation(lvalue - rvalue, constraints, fresh_symbols)
+        if expression.op == "*":
+            return ExprTranslation(lvalue * rvalue, constraints, fresh_symbols)
+        if expression.op == "/":
+            return _translate_division(lvalue, rvalue, constraints, fresh_symbols)
+        raise SemanticsError(f"unsupported operator {expression.op!r}")
+    if isinstance(expression, ast.Nondet):
+        symbol = fresh("nd")
+        value = Polynomial.var(symbol)
+        constraints: list[Formula] = []
+        fresh_symbols: list[Symbol] = [symbol]
+        if expression.lower is not None:
+            lower = translate_expression(expression.lower)
+            constraints.append(lower.constraints)
+            constraints.append(atom_ge(value, lower.value))
+            fresh_symbols.extend(lower.fresh_symbols)
+        if expression.upper is not None:
+            upper = translate_expression(expression.upper)
+            constraints.append(upper.constraints)
+            # nondet(lo, hi) yields lo <= v < hi, i.e. v <= hi - 1.
+            constraints.append(atom_le(value, upper.value - 1))
+            fresh_symbols.extend(upper.fresh_symbols)
+        return ExprTranslation(value, conjoin(constraints), tuple(fresh_symbols))
+    if isinstance(expression, ast.ArrayRead):
+        symbol = fresh(f"load_{expression.array}")
+        return ExprTranslation(Polynomial.var(symbol), TRUE, (symbol,))
+    if isinstance(expression, ast.MinMax):
+        left = translate_expression(expression.left)
+        right = translate_expression(expression.right)
+        lvalue, rvalue, constraints, fresh_symbols = left.merge(right)
+        symbol = fresh("max" if expression.is_max else "min")
+        value = Polynomial.var(symbol)
+        if expression.is_max:
+            bounds = conjoin([atom_ge(value, lvalue), atom_ge(value, rvalue)])
+        else:
+            bounds = conjoin([atom_le(value, lvalue), atom_le(value, rvalue)])
+        choice = disjoin([atom_eq(value, lvalue), atom_eq(value, rvalue)])
+        return ExprTranslation(
+            value,
+            conjoin([constraints, bounds, choice]),
+            fresh_symbols + (symbol,),
+        )
+    if isinstance(expression, ast.Ternary):
+        condition = translate_condition(expression.condition)
+        then_part = translate_expression(expression.then_value)
+        else_part = translate_expression(expression.else_value)
+        symbol = fresh("ite")
+        value = Polynomial.var(symbol)
+        branches = disjoin(
+            [
+                conjoin([condition, then_part.constraints, atom_eq(value, then_part.value)]),
+                conjoin(
+                    [
+                        _negate_condition(expression.condition),
+                        else_part.constraints,
+                        atom_eq(value, else_part.value),
+                    ]
+                ),
+            ]
+        )
+        return ExprTranslation(
+            value,
+            branches,
+            then_part.fresh_symbols + else_part.fresh_symbols + (symbol,),
+        )
+    if isinstance(expression, ast.CallExpr):
+        raise SemanticsError(
+            "call expressions must be hoisted into call statements before translation"
+        )
+    raise SemanticsError(f"unsupported expression {expression!r}")
+
+
+def _translate_division(
+    dividend: Polynomial,
+    divisor: Polynomial,
+    constraints: Formula,
+    fresh_symbols: tuple[Symbol, ...],
+) -> ExprTranslation:
+    if not divisor.is_constant:
+        raise SemanticsError("division is only supported by constant divisors")
+    c = divisor.constant_value
+    if c <= 0:
+        raise SemanticsError("division is only supported by positive constants")
+    quotient = fresh("div")
+    value = Polynomial.var(quotient)
+    relation = conjoin(
+        [
+            atom_le(value.scale(c), dividend),          # c*q <= e
+            atom_le(dividend, value.scale(c) + (c - 1)),  # e <= c*q + c - 1
+        ]
+    )
+    return ExprTranslation(
+        value, conjoin([constraints, relation]), fresh_symbols + (quotient,)
+    )
+
+
+def _negate_condition(condition: ast.Cond) -> Formula:
+    """The formula for the negation of a condition (pushed through syntax)."""
+    return translate_condition(ast.NotCond(condition))
+
+
+def translate_condition(condition: ast.Cond) -> Formula:
+    """Translate a condition to a formula over pre-state symbols."""
+    if isinstance(condition, ast.BoolLit):
+        return TRUE if condition.value else FALSE
+    if isinstance(condition, ast.NondetBool):
+        return TRUE
+    if isinstance(condition, ast.BoolOp):
+        left = translate_condition(condition.left)
+        right = translate_condition(condition.right)
+        if condition.op == "&&":
+            return conjoin([left, right])
+        return disjoin([left, right])
+    if isinstance(condition, ast.NotCond):
+        inner = condition.operand
+        if isinstance(inner, ast.NondetBool):
+            return TRUE
+        if isinstance(inner, ast.BoolLit):
+            return FALSE if inner.value else TRUE
+        if isinstance(inner, ast.NotCond):
+            return translate_condition(inner.operand)
+        if isinstance(inner, ast.BoolOp):
+            flipped = "||" if inner.op == "&&" else "&&"
+            return translate_condition(
+                ast.BoolOp(flipped, ast.NotCond(inner.left), ast.NotCond(inner.right))
+            )
+        if isinstance(inner, ast.Compare):
+            return translate_condition(_negate_compare(inner))
+        raise SemanticsError(f"cannot negate condition {inner!r}")
+    if isinstance(condition, ast.Compare):
+        left = translate_expression(condition.left)
+        right = translate_expression(condition.right)
+        lvalue, rvalue, constraints, fresh_symbols = left.merge(right)
+        relation = _compare_formula(condition.op, lvalue, rvalue)
+        return exists(fresh_symbols, conjoin([constraints, relation]))
+    raise SemanticsError(f"unsupported condition {condition!r}")
+
+
+def _negate_compare(comparison: ast.Compare) -> ast.Compare:
+    negations = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+    return ast.Compare(negations[comparison.op], comparison.left, comparison.right)
+
+
+def _compare_formula(op: str, left: Polynomial, right: Polynomial) -> Formula:
+    if op == "==":
+        return atom_eq(left, right)
+    if op == "!=":
+        # Integer semantics: left <= right - 1  or  left >= right + 1.
+        return disjoin([atom_le(left, right - 1), atom_ge(left, right + 1)])
+    if op == "<":
+        return atom_le(left, right - 1)
+    if op == "<=":
+        return atom_le(left, right)
+    if op == ">":
+        return atom_ge(left, right + 1)
+    if op == ">=":
+        return atom_ge(left, right)
+    raise SemanticsError(f"unsupported comparison {op!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Statement-level transition formulas
+# ---------------------------------------------------------------------- #
+def assign_transition(name: str, expression: ast.Expr) -> TransitionFormula:
+    """The transition formula of ``name = expression`` (no calls inside)."""
+    translated = translate_expression(expression)
+    formula = conjoin(
+        [translated.constraints, atom_eq(Polynomial.var(post(name)), translated.value)]
+    )
+    formula = exists(translated.fresh_symbols, formula)
+    return TransitionFormula.relation(formula, [name])
+
+
+def assume_transition(condition: ast.Cond) -> TransitionFormula:
+    """The transition formula of ``assume(condition)`` (a guard edge)."""
+    return TransitionFormula.assume(translate_condition(condition))
+
+
+def havoc_transition(name: str) -> TransitionFormula:
+    """The transition formula of ``name = nondet()``."""
+    return TransitionFormula.havoc([name])

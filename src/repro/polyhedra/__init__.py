@@ -1,0 +1,30 @@
+"""Polyhedral abstract domain: linear constraints, LP queries, projection, hulls.
+
+This package implements the machinery behind the paper's ``Abstract`` /
+convex-hull procedure (Alg. 1): linear constraints with exact rational
+coefficients, satisfiability/entailment/optimization via LP, Fourier–Motzkin
+projection, and the polyhedral join (closed convex hull of unions).
+"""
+
+from .constraint import ConstraintKind, LinearConstraint, constraint_from_atom
+from .fourier_motzkin import eliminate, minimize_constraints
+from .hull import convex_hull, convex_hull_pair, weak_join
+from .lp import LpResult, LpStatus, entails, is_satisfiable, maximize
+from .polyhedron import Polyhedron
+
+__all__ = [
+    "ConstraintKind",
+    "LinearConstraint",
+    "constraint_from_atom",
+    "eliminate",
+    "minimize_constraints",
+    "convex_hull",
+    "convex_hull_pair",
+    "weak_join",
+    "LpResult",
+    "LpStatus",
+    "entails",
+    "is_satisfiable",
+    "maximize",
+    "Polyhedron",
+]

@@ -1,0 +1,183 @@
+"""Linear constraints over symbols.
+
+A :class:`LinearConstraint` denotes ``sum_i coeff_i * symbol_i + constant REL 0``
+where ``REL`` is ``<=`` or ``==``.  Strict inequalities are soundly weakened to
+non-strict ones when converting from formula atoms (the polyhedral domain of
+the paper is a closed-convex-set domain, so this loses no precision for the
+over-approximation direction the analysis needs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from ..formulas.formula import Atom, AtomKind
+from ..formulas.polynomial import Monomial, Polynomial
+from ..formulas.symbols import Symbol
+
+__all__ = ["ConstraintKind", "LinearConstraint", "constraint_from_atom"]
+
+
+class ConstraintKind(enum.Enum):
+    """Relation of a linear constraint to zero."""
+
+    LE = "<="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``sum coeffs[s]*s + constant (<=|==) 0`` with exact rational arithmetic."""
+
+    coeffs: tuple[tuple[Symbol, Fraction], ...]
+    constant: Fraction
+    kind: ConstraintKind
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def make(
+        coeffs: Mapping[Symbol, Fraction | int],
+        constant: Fraction | int = 0,
+        kind: ConstraintKind = ConstraintKind.LE,
+    ) -> "LinearConstraint":
+        cleaned = tuple(
+            sorted(
+                ((s, Fraction(c)) for s, c in coeffs.items() if Fraction(c) != 0),
+                key=lambda kv: str(kv[0]),
+            )
+        )
+        return LinearConstraint(cleaned, Fraction(constant), kind)
+
+    @staticmethod
+    def le(polynomial: Polynomial) -> "LinearConstraint":
+        """``polynomial <= 0`` (polynomial must be linear)."""
+        return _from_linear_polynomial(polynomial, ConstraintKind.LE)
+
+    @staticmethod
+    def eq(polynomial: Polynomial) -> "LinearConstraint":
+        """``polynomial == 0`` (polynomial must be linear)."""
+        return _from_linear_polynomial(polynomial, ConstraintKind.EQ)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def coeff_map(self) -> dict[Symbol, Fraction]:
+        return dict(self.coeffs)
+
+    @property
+    def symbols(self) -> frozenset[Symbol]:
+        return frozenset(s for s, _ in self.coeffs)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the constraint has no symbols and is satisfied."""
+        if self.coeffs:
+            return False
+        if self.kind is ConstraintKind.LE:
+            return self.constant <= 0
+        return self.constant == 0
+
+    @property
+    def is_contradiction(self) -> bool:
+        """True when the constraint has no symbols and is violated."""
+        if self.coeffs:
+            return False
+        if self.kind is ConstraintKind.LE:
+            return self.constant > 0
+        return self.constant != 0
+
+    def coefficient(self, symbol: Symbol) -> Fraction:
+        for s, c in self.coeffs:
+            if s == symbol:
+                return c
+        return Fraction(0)
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def scale(self, factor: Fraction | int) -> "LinearConstraint":
+        """Scale by a factor (must be positive for LE constraints)."""
+        factor = Fraction(factor)
+        if self.kind is ConstraintKind.LE and factor <= 0:
+            raise ValueError("LE constraints may only be scaled by positive factors")
+        return LinearConstraint.make(
+            {s: c * factor for s, c in self.coeffs}, self.constant * factor, self.kind
+        )
+
+    def add(self, other: "LinearConstraint") -> "LinearConstraint":
+        """Sum of two constraints (LE + LE = LE, EQ + EQ = EQ, mixed = LE)."""
+        coeffs = self.coeff_map
+        for s, c in other.coeffs:
+            coeffs[s] = coeffs.get(s, Fraction(0)) + c
+        kind = (
+            ConstraintKind.EQ
+            if self.kind is ConstraintKind.EQ and other.kind is ConstraintKind.EQ
+            else ConstraintKind.LE
+        )
+        return LinearConstraint.make(coeffs, self.constant + other.constant, kind)
+
+    def normalize(self) -> "LinearConstraint":
+        """Divide through by the gcd-like scale so the leading coefficient is 1/-1."""
+        if not self.coeffs:
+            return self
+        lead = abs(self.coeffs[0][1])
+        if lead == 0 or lead == 1:
+            return self
+        if self.kind is ConstraintKind.EQ:
+            return LinearConstraint.make(
+                {s: c / lead for s, c in self.coeffs}, self.constant / lead, self.kind
+            )
+        return self.scale(Fraction(1) / lead)
+
+    def to_polynomial(self) -> Polynomial:
+        """The linear polynomial ``sum coeffs*sym + constant``."""
+        poly = Polynomial.constant(self.constant)
+        for s, c in self.coeffs:
+            poly = poly + Polynomial({Monomial.of(s): c})
+        return poly
+
+    def to_atom(self) -> Atom:
+        """The corresponding formula atom."""
+        kind = AtomKind.LE if self.kind is ConstraintKind.LE else AtomKind.EQ
+        return Atom(self.to_polynomial(), kind)
+
+    def rename(self, mapping: Mapping[Symbol, Symbol]) -> "LinearConstraint":
+        coeffs: dict[Symbol, Fraction] = {}
+        for s, c in self.coeffs:
+            target = mapping.get(s, s)
+            coeffs[target] = coeffs.get(target, Fraction(0)) + c
+        return LinearConstraint.make(coeffs, self.constant, self.kind)
+
+    def evaluate(self, assignment: Mapping[Symbol, Fraction | int]) -> bool:
+        value = self.constant
+        for s, c in self.coeffs:
+            value += c * Fraction(assignment[s])
+        if self.kind is ConstraintKind.LE:
+            return value <= 0
+        return value == 0
+
+    def __str__(self) -> str:
+        lhs = " + ".join(f"{c}*{s}" for s, c in self.coeffs) or "0"
+        return f"{lhs} + {self.constant} {self.kind.value} 0"
+
+
+def _from_linear_polynomial(
+    polynomial: Polynomial, kind: ConstraintKind
+) -> LinearConstraint:
+    if not polynomial.is_linear:
+        raise ValueError(f"polynomial {polynomial} is not linear")
+    linear, constant, _ = polynomial.split_linear()
+    return LinearConstraint.make(linear, constant, kind)
+
+
+def constraint_from_atom(atom: Atom) -> LinearConstraint:
+    """Convert a *linear* atom to a constraint, weakening ``<`` to ``<=``."""
+    if atom.kind is AtomKind.EQ:
+        return LinearConstraint.eq(atom.polynomial)
+    return LinearConstraint.le(atom.polynomial)

@@ -1,0 +1,221 @@
+"""Quantifier elimination for linear constraints (Fourier–Motzkin).
+
+Polyhedral projection is the work-horse of the convex-hull algorithm (Alg. 1
+in the paper, line 4: ``project(Q, X)``).  The implementation here eliminates
+one symbol at a time:
+
+* a symbol defined by an *equality* constraint is eliminated by Gaussian
+  substitution (cheap, exact, and by far the most common case because
+  transition-formula composition introduces mid-state symbols that are defined
+  by assignment equalities);
+* otherwise classic Fourier–Motzkin combination of the positive and negative
+  occurrences is used.
+
+After each elimination step syntactically redundant constraints are removed;
+when the constraint count grows beyond a threshold an LP-based minimization
+pass prunes semantically redundant constraints to keep the blow-up bounded.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from ..formulas.symbols import Symbol
+from .constraint import ConstraintKind, LinearConstraint
+from . import lp
+
+__all__ = ["eliminate", "minimize_constraints", "MINIMIZE_THRESHOLD"]
+
+#: When more than this many constraints accumulate during elimination, run an
+#: LP-based redundancy-removal pass.
+MINIMIZE_THRESHOLD = 120
+
+#: Hard cap after which elimination falls back to dropping the constraints
+#: that mention the symbol (a sound over-approximation of the projection).
+BLOWUP_LIMIT = 600
+
+
+def eliminate(
+    constraints: Sequence[LinearConstraint],
+    symbols: Iterable[Symbol],
+    minimize_threshold: int = MINIMIZE_THRESHOLD,
+) -> list[LinearConstraint]:
+    """Project the constraint system onto the complement of ``symbols``.
+
+    Returns a system over the remaining symbols whose solution set is exactly
+    the projection (or, if the blow-up cap was hit, a sound over-approximation
+    of it).  Contradictory systems are returned as a single ``1 <= 0``
+    constraint so callers can detect emptiness syntactically.
+    """
+    current = _clean([c for c in constraints])
+    if current is None:
+        return [_contradiction()]
+    remaining = [s for s in dict.fromkeys(symbols)]
+    while remaining:
+        symbol = _pick_symbol(current, remaining)
+        remaining.remove(symbol)
+        if not any(c.coefficient(symbol) != 0 for c in current):
+            continue
+        current = _eliminate_one(current, symbol)
+        cleaned = _clean(current)
+        if cleaned is None:
+            return [_contradiction()]
+        current = cleaned
+        if len(current) > minimize_threshold:
+            current = minimize_constraints(current)
+    return current
+
+
+def _contradiction() -> LinearConstraint:
+    return LinearConstraint.make({}, Fraction(1), ConstraintKind.LE)
+
+
+def _pick_symbol(
+    constraints: Sequence[LinearConstraint], candidates: Sequence[Symbol]
+) -> Symbol:
+    """Choose the cheapest symbol to eliminate next.
+
+    Symbols defined by an equality are preferred (cost 0); otherwise the
+    symbol minimizing ``#positive * #negative`` inequality occurrences.
+    """
+    best = None
+    best_cost = None
+    for symbol in candidates:
+        pos = neg = 0
+        has_eq = False
+        for constraint in constraints:
+            coeff = constraint.coefficient(symbol)
+            if coeff == 0:
+                continue
+            if constraint.kind is ConstraintKind.EQ:
+                has_eq = True
+                break
+            if coeff > 0:
+                pos += 1
+            else:
+                neg += 1
+        cost = -1 if has_eq else pos * neg
+        if best_cost is None or cost < best_cost:
+            best, best_cost = symbol, cost
+            if cost == -1:
+                break
+    assert best is not None
+    return best
+
+
+def _eliminate_one(
+    constraints: Sequence[LinearConstraint], symbol: Symbol
+) -> list[LinearConstraint]:
+    equality = next(
+        (
+            c
+            for c in constraints
+            if c.kind is ConstraintKind.EQ and c.coefficient(symbol) != 0
+        ),
+        None,
+    )
+    if equality is not None:
+        return _substitute_equality(constraints, symbol, equality)
+    return _fourier_motzkin_step(constraints, symbol)
+
+
+def _substitute_equality(
+    constraints: Sequence[LinearConstraint],
+    symbol: Symbol,
+    equality: LinearConstraint,
+) -> list[LinearConstraint]:
+    """Eliminate ``symbol`` using ``equality`` by Gaussian substitution."""
+    coeff = equality.coefficient(symbol)
+    result: list[LinearConstraint] = []
+    for constraint in constraints:
+        if constraint is equality:
+            continue
+        c = constraint.coefficient(symbol)
+        if c == 0:
+            result.append(constraint)
+            continue
+        # constraint - (c / coeff) * equality removes the symbol.
+        factor = c / coeff
+        coeffs = constraint.coeff_map
+        for s, e in equality.coeffs:
+            coeffs[s] = coeffs.get(s, Fraction(0)) - factor * e
+        constant = constraint.constant - factor * equality.constant
+        result.append(LinearConstraint.make(coeffs, constant, constraint.kind))
+    return result
+
+
+def _fourier_motzkin_step(
+    constraints: Sequence[LinearConstraint], symbol: Symbol
+) -> list[LinearConstraint]:
+    """One classic Fourier–Motzkin elimination step for ``symbol``."""
+    positives: list[LinearConstraint] = []
+    negatives: list[LinearConstraint] = []
+    untouched: list[LinearConstraint] = []
+    for constraint in constraints:
+        coeff = constraint.coefficient(symbol)
+        if coeff == 0:
+            untouched.append(constraint)
+        elif coeff > 0:
+            positives.append(constraint)
+        else:
+            negatives.append(constraint)
+    if len(positives) * len(negatives) + len(untouched) > BLOWUP_LIMIT:
+        # Sound fallback: forget every constraint that mentions the symbol.
+        return untouched
+    result = untouched
+    for pos in positives:
+        cp = pos.coefficient(symbol)
+        for neg in negatives:
+            cn = neg.coefficient(symbol)
+            combined = pos.scale(-cn).add(neg.scale(cp))
+            # The symbol cancels by construction; guard against Fraction noise.
+            coeffs = {s: c for s, c in combined.coeffs if s != symbol}
+            result.append(
+                LinearConstraint.make(coeffs, combined.constant, ConstraintKind.LE)
+            )
+    return result
+
+
+def _clean(
+    constraints: Sequence[LinearConstraint],
+) -> list[LinearConstraint] | None:
+    """Drop trivial/duplicate/dominated constraints; None on contradiction."""
+    seen: dict[tuple, LinearConstraint] = {}
+    for constraint in constraints:
+        if constraint.is_contradiction:
+            return None
+        if constraint.is_trivial:
+            continue
+        normalized = constraint.normalize()
+        key = (normalized.coeffs, normalized.kind)
+        existing = seen.get(key)
+        if existing is None:
+            seen[key] = normalized
+        elif normalized.kind is ConstraintKind.LE:
+            # Same left-hand side: keep the tighter constant.
+            if normalized.constant > existing.constant:
+                seen[key] = normalized
+        else:
+            if normalized.constant != existing.constant:
+                return None
+    return list(seen.values())
+
+
+def minimize_constraints(
+    constraints: Sequence[LinearConstraint],
+) -> list[LinearConstraint]:
+    """Remove constraints entailed by the remaining ones (LP-based)."""
+    cleaned = _clean(constraints)
+    if cleaned is None:
+        return [_contradiction()]
+    kept: list[LinearConstraint] = list(cleaned)
+    index = 0
+    while index < len(kept):
+        candidate = kept[index]
+        rest = kept[:index] + kept[index + 1 :]
+        if rest and lp.entails(rest, candidate):
+            kept = rest
+        else:
+            index += 1
+    return kept

@@ -1,0 +1,246 @@
+"""Exact rational linear programming (two-phase simplex, Bland's rule).
+
+The floating-point LP backend (:mod:`repro.polyhedra.lp`) is fast but its
+answers near the decision boundary cannot be trusted for *soundness-critical*
+queries: claiming that a constraint system entails a candidate inequation when
+it does not would let an unsound invariant into a procedure summary.  This
+module provides an exact simplex over :class:`fractions.Fraction` that the LP
+layer consults whenever the floating-point answer is in the unsound direction
+or too close to call.
+
+The solver maximizes a linear objective subject to ``A x + b <= 0`` /
+``A x + b == 0`` constraints with *free* variables.  Free variables are split
+into differences of non-negative variables, inequalities receive slack
+variables, and a standard two-phase simplex with Bland's anti-cycling rule is
+run on the resulting standard-form problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..formulas.symbols import Symbol
+from .constraint import ConstraintKind, LinearConstraint
+
+__all__ = ["ExactLpResult", "exact_maximize", "exact_is_satisfiable", "exact_entails"]
+
+
+@dataclass(frozen=True)
+class ExactLpResult:
+    """Result of an exact LP: status is 'optimal', 'unbounded' or 'infeasible'."""
+
+    status: str
+    value: Fraction | None = None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+    @property
+    def is_unbounded(self) -> bool:
+        return self.status == "unbounded"
+
+    @property
+    def is_infeasible(self) -> bool:
+        return self.status == "infeasible"
+
+
+class _Tableau:
+    """Dense simplex tableau over exact rationals.
+
+    Rows are constraints ``sum a_ij x_j = b_i`` with ``b_i >= 0``; the last row
+    is the (negated) objective.  ``basis[i]`` is the column basic in row ``i``.
+    """
+
+    def __init__(self, rows: list[list[Fraction]], rhs: list[Fraction], basis: list[int]):
+        self.rows = rows
+        self.rhs = rhs
+        self.basis = basis
+        self.ncols = len(rows[0]) if rows else 0
+
+    def pivot(self, row: int, col: int) -> None:
+        """Make ``col`` basic in ``row``."""
+        pivot_value = self.rows[row][col]
+        inv = Fraction(1) / pivot_value
+        self.rows[row] = [a * inv for a in self.rows[row]]
+        self.rhs[row] *= inv
+        for r in range(len(self.rows)):
+            if r == row:
+                continue
+            factor = self.rows[r][col]
+            if factor == 0:
+                continue
+            self.rows[r] = [
+                a - factor * p for a, p in zip(self.rows[r], self.rows[row])
+            ]
+            self.rhs[r] -= factor * self.rhs[row]
+        self.basis[row] = col
+
+    def optimize(self, objective: list[Fraction], allowed: set[int]) -> tuple[str, Fraction]:
+        """Maximize ``objective`` over the current feasible basis.
+
+        ``allowed`` restricts which columns may enter the basis (used to keep
+        artificial variables out in phase 2).  Returns (status, value) where
+        value is the optimal objective value when status == 'optimal'.
+        """
+        # Reduced costs: z_j - c_j computed incrementally via the usual
+        # "objective row" trick: maintain obj_row = c - sum over basic rows.
+        obj_row = list(objective)
+        obj_value = Fraction(0)
+        for i, basic_col in enumerate(self.basis):
+            coeff = obj_row[basic_col]
+            if coeff == 0:
+                continue
+            obj_row = [a - coeff * b for a, b in zip(obj_row, self.rows[i])]
+            obj_value -= coeff * self.rhs[i]
+        # obj_value currently holds -(objective of the basic solution).
+        while True:
+            entering = None
+            for col in range(self.ncols):
+                if col in allowed and obj_row[col] > 0:
+                    entering = col  # Bland: smallest index with positive reduced cost
+                    break
+            if entering is None:
+                return "optimal", -obj_value
+            leaving = None
+            best_ratio: Fraction | None = None
+            for row in range(len(self.rows)):
+                a = self.rows[row][entering]
+                if a > 0:
+                    ratio = self.rhs[row] / a
+                    if (
+                        best_ratio is None
+                        or ratio < best_ratio
+                        or (ratio == best_ratio and self.basis[row] < self.basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = row
+            if leaving is None:
+                return "unbounded", Fraction(0)
+            coeff = obj_row[entering]
+            self.pivot(leaving, entering)
+            obj_row = [a - coeff * b for a, b in zip(obj_row, self.rows[leaving])]
+            obj_value -= coeff * self.rhs[leaving]
+
+
+def _standard_form(
+    objective: Mapping[Symbol, Fraction],
+    constraints: Sequence[LinearConstraint],
+) -> tuple[list[list[Fraction]], list[Fraction], list[Fraction], int]:
+    """Convert to standard form ``A x = b, x >= 0`` with split free variables.
+
+    Returns (rows, rhs, objective_vector, n_structural_columns).
+    """
+    symbols = sorted(
+        {s for c in constraints for s in c.symbols} | set(objective.keys()), key=str
+    )
+    index = {s: i for i, s in enumerate(symbols)}
+    n_free = len(symbols)
+    n_slack = sum(1 for c in constraints if c.kind is ConstraintKind.LE)
+    ncols = 2 * n_free + n_slack
+    rows: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+    slack_cursor = 0
+    for constraint in constraints:
+        row = [Fraction(0)] * ncols
+        for s, c in constraint.coeffs:
+            j = index[s]
+            row[2 * j] += c
+            row[2 * j + 1] -= c
+        if constraint.kind is ConstraintKind.LE:
+            row[2 * n_free + slack_cursor] = Fraction(1)
+            slack_cursor += 1
+        b = -constraint.constant
+        rows.append(row)
+        rhs.append(b)
+    obj = [Fraction(0)] * ncols
+    for s, c in objective.items():
+        j = index[s]
+        obj[2 * j] += Fraction(c)
+        obj[2 * j + 1] -= Fraction(c)
+    return rows, rhs, obj, ncols
+
+
+def exact_maximize(
+    objective: Mapping[Symbol, Fraction],
+    constraints: Sequence[LinearConstraint],
+) -> ExactLpResult:
+    """Exactly maximize ``objective`` subject to ``constraints`` (free vars)."""
+    for constraint in constraints:
+        if constraint.is_contradiction:
+            return ExactLpResult("infeasible")
+    constraints = [c for c in constraints if c.coeffs]
+    if not constraints:
+        if not objective or all(Fraction(c) == 0 for c in objective.values()):
+            return ExactLpResult("optimal", Fraction(0))
+        return ExactLpResult("unbounded")
+    rows, rhs, obj, ncols = _standard_form(objective, constraints)
+    nrows = len(rows)
+    # Phase 1: add one artificial variable per row (after flipping rows with
+    # negative right-hand sides), minimize their sum.
+    total_cols = ncols + nrows
+    tab_rows: list[list[Fraction]] = []
+    tab_rhs: list[Fraction] = []
+    basis: list[int] = []
+    for i in range(nrows):
+        row = list(rows[i])
+        b = rhs[i]
+        if b < 0:
+            row = [-a for a in row]
+            b = -b
+        row.extend(Fraction(0) for _ in range(nrows))
+        row[ncols + i] = Fraction(1)
+        tab_rows.append(row)
+        tab_rhs.append(b)
+        basis.append(ncols + i)
+    tableau = _Tableau(tab_rows, tab_rhs, basis)
+    phase1_obj = [Fraction(0)] * total_cols
+    for i in range(nrows):
+        phase1_obj[ncols + i] = Fraction(-1)  # maximize -(sum of artificials)
+    status, value = tableau.optimize(phase1_obj, allowed=set(range(total_cols)))
+    if status != "optimal" or value < 0:
+        return ExactLpResult("infeasible")
+    # Drive any artificial variable that is still basic out of the basis.
+    for i in range(nrows):
+        if tableau.basis[i] >= ncols:
+            pivot_col = next(
+                (j for j in range(ncols) if tableau.rows[i][j] != 0), None
+            )
+            if pivot_col is not None:
+                tableau.pivot(i, pivot_col)
+    # Phase 2: maximize the real objective over structural + slack columns.
+    phase2_obj = list(obj) + [Fraction(0)] * nrows
+    allowed = set(range(ncols))
+    status, value = tableau.optimize(phase2_obj, allowed=allowed)
+    if status == "unbounded":
+        return ExactLpResult("unbounded")
+    return ExactLpResult("optimal", value)
+
+
+def exact_is_satisfiable(constraints: Sequence[LinearConstraint]) -> bool:
+    """Exact rational satisfiability of a constraint system."""
+    return not exact_maximize({}, constraints).is_infeasible
+
+
+def exact_entails(
+    constraints: Sequence[LinearConstraint], candidate: LinearConstraint
+) -> bool:
+    """Exact entailment check ``constraints |= candidate``."""
+    if candidate.is_trivial:
+        return True
+    if candidate.is_contradiction:
+        return not exact_is_satisfiable(constraints)
+    if candidate.kind is ConstraintKind.EQ:
+        le = LinearConstraint.make(candidate.coeff_map, candidate.constant)
+        ge = LinearConstraint.make(
+            {s: -c for s, c in candidate.coeffs}, -candidate.constant
+        )
+        return exact_entails(constraints, le) and exact_entails(constraints, ge)
+    result = exact_maximize(candidate.coeff_map, constraints)
+    if result.is_infeasible:
+        return True
+    if not result.is_optimal or result.value is None:
+        return False
+    return result.value <= -candidate.constant

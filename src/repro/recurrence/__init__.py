@@ -1,0 +1,28 @@
+"""Recurrence solving: exponential-polynomial closed forms for C-finite and
+stratified polynomial recurrence systems (Defn. 3.1 / 3.2 of the paper)."""
+
+from .exppoly import ExpPoly
+from .cfinite import (
+    ClosedForm,
+    RecurrenceSolvingError,
+    geometric_convolution,
+    solve_first_order,
+    solve_linear_system,
+)
+from .stratified import (
+    RecurrenceEquation,
+    StratifiedSystem,
+    evaluate_polynomial_over_closed_forms,
+)
+
+__all__ = [
+    "ExpPoly",
+    "ClosedForm",
+    "RecurrenceSolvingError",
+    "geometric_convolution",
+    "solve_first_order",
+    "solve_linear_system",
+    "RecurrenceEquation",
+    "StratifiedSystem",
+    "evaluate_polynomial_over_closed_forms",
+]

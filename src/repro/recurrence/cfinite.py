@@ -1,0 +1,219 @@
+"""C-finite recurrence solving.
+
+This module computes exact exponential-polynomial closed forms (Defn. 3.1 of
+the paper) for
+
+* first-order scalar recurrences  ``b(k+1) = a*b(k) + g(k)``  with constant
+  ``a`` and exponential-polynomial inhomogeneity ``g`` (the common case for
+  height-based recurrence analysis: e.g. ``b(h+1) = 2 b(h) + 2`` for
+  subsetSum, ``b(h+1) = 7 b(h) + c 4**h`` for Strassen), and
+* coupled linear systems ``x(k+1) = A x(k) + g(k)`` with a constant
+  diagonalizable matrix ``A`` (the mutual-recursion case, §4.4, e.g.
+  ``[b1;b2](h+1) = [[0,18],[2,0]] [b1;b2](h) + [17;1]``).
+
+The key primitive is :func:`geometric_convolution`, which computes
+``S(n) = sum_{m=0}^{n-1} a**(n-1-m) * g(m)`` purely by polynomial algebra
+(method of undetermined coefficients), avoiding any reliance on the output
+format of a general symbolic summation routine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+import sympy
+
+from .exppoly import ExpPoly
+
+__all__ = [
+    "ClosedForm",
+    "geometric_convolution",
+    "solve_first_order",
+    "solve_linear_system",
+    "RecurrenceSolvingError",
+]
+
+
+class RecurrenceSolvingError(Exception):
+    """Raised when a recurrence cannot be put in solvable (C-finite) form."""
+
+
+@dataclass(frozen=True)
+class ClosedForm:
+    """A closed form together with the index from which it is valid.
+
+    ``valid_from`` matters for recurrences whose homogeneous coefficient is
+    zero (``b(k+1) = g(k)``): the closed form then only describes indices
+    strictly greater than the initial index.
+    """
+
+    expression: ExpPoly
+    valid_from: int = 0
+
+    def evaluate(self, value: int) -> sympy.Expr:
+        return self.expression.evaluate(value)
+
+    def __str__(self) -> str:
+        return f"{self.expression} (valid for k >= {self.valid_from})"
+
+
+def _indefinite_sum(poly: sympy.Expr, q: sympy.Expr, var: sympy.Symbol) -> tuple[sympy.Expr, sympy.Expr]:
+    """Closed form of ``T(n) = sum_{m=0}^{n-1} p(m) q**m``.
+
+    Returns ``(A, C)`` such that ``T(n) = A(n) * q**n + C`` when ``q != 1``,
+    or ``(A, 0)`` such that ``T(n) = A(n)`` when ``q == 1`` (then ``A`` has
+    degree ``deg p + 1``).  Solved by undetermined coefficients.
+    """
+    p = sympy.Poly(poly, var)
+    degree = p.degree() if p.degree() >= 0 else 0
+    if q == 1:
+        # Ansatz: T(n) polynomial of degree d+1 with T(0) = 0 and
+        # T(n+1) - T(n) = p(n).
+        coeffs = sympy.symbols(f"faul0:{degree + 2}")
+        ansatz = sum(c * var**i for i, c in enumerate(coeffs))
+        difference = sympy.expand(ansatz.subs(var, var + 1) - ansatz - poly)
+        equations = sympy.Poly(difference, var).all_coeffs()
+        equations.append(ansatz.subs(var, 0))
+        solution = sympy.solve(equations, coeffs, dict=True)
+        if not solution:
+            raise RecurrenceSolvingError(f"could not sum polynomial {poly}")
+        resolved = ansatz.subs(solution[0])
+        return sympy.expand(resolved), sympy.Integer(0)
+    # Ansatz: T(n) = A(n) q**n + C with deg A = deg p, T(0) = 0 and
+    # T(n+1) - T(n) = p(n) q**n, i.e. q*A(n+1) - A(n) = p(n).
+    coeffs = sympy.symbols(f"geo0:{degree + 1}")
+    ansatz = sum(c * var**i for i, c in enumerate(coeffs))
+    difference = sympy.expand(q * ansatz.subs(var, var + 1) - ansatz - poly)
+    equations = sympy.Poly(difference, var).all_coeffs()
+    solution = sympy.solve(equations, coeffs, dict=True)
+    if not solution:
+        raise RecurrenceSolvingError(f"could not solve convolution for {poly}, q={q}")
+    resolved = sympy.expand(ansatz.subs(solution[0]))
+    constant = sympy.expand(-resolved.subs(var, 0))
+    return resolved, constant
+
+
+def geometric_convolution(a: sympy.Expr, g: ExpPoly) -> ExpPoly:
+    """Closed form of ``S(n) = sum_{m=0}^{n-1} a**(n-1-m) * g(m)``.
+
+    ``a`` must be non-zero.  The result is an exponential polynomial in the
+    same variable as ``g`` (the bases of the result are the bases of ``g``
+    together with ``a``).
+    """
+    a = sympy.sympify(a)
+    if a == 0:
+        raise ValueError("geometric_convolution requires a non-zero coefficient")
+    var = g.var
+    result = ExpPoly.zero(var)
+    for base, poly in g.terms.items():
+        q = sympy.simplify(base / a)
+        summed, constant = _indefinite_sum(poly, q, var)
+        if q == 1:
+            # S contribution: a**(n-1) * T(n) with T polynomial.
+            result = result + ExpPoly(var, {a: summed / a})
+        else:
+            # T(n) = A(n) q**n + C; S contribution:
+            #   a**(n-1) (A(n) q**n + C) = A(n)/a * base**n + C/a * a**n.
+            result = result + ExpPoly(var, {base: summed / a})
+            if constant != 0:
+                result = result + ExpPoly(var, {a: constant / a})
+    return result
+
+
+def solve_first_order(
+    coefficient,
+    inhomogeneity: ExpPoly,
+    initial_value,
+    initial_index: int = 0,
+) -> ClosedForm:
+    """Solve ``b(k+1) = coefficient * b(k) + inhomogeneity(k)`` exactly.
+
+    ``initial_value`` is the value of ``b`` at ``initial_index``.  The closed
+    form is valid for ``k >= initial_index`` when ``coefficient != 0`` and for
+    ``k >= initial_index + 1`` when ``coefficient == 0``.
+    """
+    a = sympy.sympify(coefficient)
+    var = inhomogeneity.var
+    v0 = sympy.sympify(initial_value)
+    if a == 0:
+        # b(k) = g(k - 1) for k > initial_index.
+        closed = inhomogeneity.shift(-1)
+        return ClosedForm(closed, valid_from=initial_index + 1)
+    # Change variables: c(m) = b(m + initial_index), c(0) = v0,
+    # c(m+1) = a c(m) + G(m) with G(m) = g(m + initial_index).
+    shifted_g = inhomogeneity.shift(initial_index)
+    convolution = geometric_convolution(a, shifted_g)
+    homogeneous = ExpPoly(var, {a: v0})
+    in_m = homogeneous + convolution
+    # Convert back: b(k) = c(k - initial_index).
+    closed = in_m.shift(-initial_index)
+    return ClosedForm(closed, valid_from=initial_index)
+
+
+def solve_linear_system(
+    matrix: Sequence[Sequence[Fraction | int]],
+    inhomogeneity: Sequence[ExpPoly],
+    initial_values: Sequence,
+    initial_index: int = 0,
+) -> list[ClosedForm]:
+    """Solve ``x(k+1) = A x(k) + g(k)`` for a diagonalizable constant matrix.
+
+    The system is decoupled through the eigendecomposition ``A = P D P^-1``:
+    each component of ``y = P^-1 x`` satisfies a scalar first-order recurrence
+    that :func:`solve_first_order` handles, and ``x = P y`` recombines the
+    solutions.  Raises :class:`RecurrenceSolvingError` when ``A`` is not
+    diagonalizable (the caller then simply fails to find those bounding
+    functions, mirroring the paper's "n.b." outcomes).
+    """
+    size = len(matrix)
+    if size == 0:
+        return []
+    var = inhomogeneity[0].var if inhomogeneity else ExpPoly.zero().var
+    a_matrix = sympy.Matrix(
+        [[sympy.Rational(Fraction(matrix[i][j])) for j in range(size)] for i in range(size)]
+    )
+    try:
+        p_matrix, d_matrix = a_matrix.diagonalize()
+    except sympy.matrices.exceptions.NonSquareMatrixError as exc:  # pragma: no cover
+        raise RecurrenceSolvingError(str(exc)) from exc
+    except Exception as exc:
+        raise RecurrenceSolvingError(f"matrix is not diagonalizable: {exc}") from exc
+    p_inverse = p_matrix.inv()
+    x0 = sympy.Matrix([sympy.sympify(v) for v in initial_values])
+    y0 = p_inverse * x0
+    # Transform the inhomogeneity: (P^-1 g)(k), componentwise ExpPoly algebra.
+    transformed: list[ExpPoly] = []
+    for i in range(size):
+        acc = ExpPoly.zero(var)
+        for j in range(size):
+            coefficient = p_inverse[i, j]
+            if coefficient == 0:
+                continue
+            acc = acc + inhomogeneity[j].scale(coefficient)
+        transformed.append(acc)
+    # Solve each decoupled scalar recurrence y_i(k+1) = d_i y_i(k) + (P^-1 g)_i(k).
+    decoupled: list[ClosedForm] = []
+    for i in range(size):
+        eigenvalue = d_matrix[i, i]
+        if eigenvalue == 0:
+            decoupled.append(
+                ClosedForm(transformed[i].shift(-1), valid_from=initial_index + 1)
+            )
+        else:
+            decoupled.append(
+                solve_first_order(eigenvalue, transformed[i], y0[i], initial_index)
+            )
+    # Recombine: x = P y.
+    results: list[ClosedForm] = []
+    valid_from = max(cf.valid_from for cf in decoupled)
+    for i in range(size):
+        acc = ExpPoly.zero(var)
+        for j in range(size):
+            coefficient = p_matrix[i, j]
+            if coefficient == 0:
+                continue
+            acc = acc + decoupled[j].expression.scale(coefficient)
+        results.append(ClosedForm(acc, valid_from=valid_from))
+    return results

@@ -1,0 +1,60 @@
+"""Cactus-plot data (Figure 3).
+
+A cactus plot shows, for each tool, the cumulative time needed to prove its
+``k`` fastest benchmarks, for ``k = 1..proved``.  This module builds those
+series from per-benchmark (proved, seconds) measurements and renders them as
+text/CSV (no plotting dependency is available offline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+__all__ = ["CactusSeries", "build_series", "render_csv", "render_text"]
+
+
+@dataclass(frozen=True)
+class CactusSeries:
+    """One tool's cactus series: cumulative times of its proved benchmarks."""
+
+    tool: str
+    cumulative_times: tuple[float, ...]
+
+    @property
+    def proved(self) -> int:
+        return len(self.cumulative_times)
+
+    @property
+    def total_time(self) -> float:
+        return self.cumulative_times[-1] if self.cumulative_times else 0.0
+
+
+def build_series(
+    tool: str, results: Sequence[tuple[bool, float]]
+) -> CactusSeries:
+    """Build a series from (proved, seconds) pairs."""
+    times = sorted(seconds for proved, seconds in results if proved)
+    cumulative: list[float] = []
+    total = 0.0
+    for value in times:
+        total += value
+        cumulative.append(total)
+    return CactusSeries(tool, tuple(cumulative))
+
+
+def render_csv(series: Sequence[CactusSeries]) -> str:
+    lines = ["tool,proved_count,cumulative_seconds"]
+    for entry in series:
+        for index, value in enumerate(entry.cumulative_times, start=1):
+            lines.append(f"{entry.tool},{index},{value:.3f}")
+    return "\n".join(lines)
+
+
+def render_text(series: Sequence[CactusSeries]) -> str:
+    lines = ["Figure 3 (cactus): benchmarks proved vs cumulative time"]
+    for entry in sorted(series, key=lambda s: (-s.proved, s.total_time)):
+        lines.append(
+            f"  {entry.tool:10s} proved {entry.proved:2d}   total {entry.total_time:8.2f}s"
+        )
+    return "\n".join(lines)

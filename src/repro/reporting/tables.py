@@ -1,0 +1,24 @@
+"""Plain-text table rendering for the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (markdown-ish)."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    out = [line(list(headers)), separator]
+    out.extend(line(row) for row in string_rows)
+    return "\n".join(out)

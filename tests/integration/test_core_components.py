@@ -1,0 +1,121 @@
+"""Integration tests for the individual core components (Alg. 2/3, §4.2, §4.4, §4.5)."""
+
+import os
+from fractions import Fraction
+
+import pytest
+import sympy
+
+from repro.analysis import ProcedureContext
+from repro.benchlib import MISSING_BASE_P3_P4, MUTUAL_P1_P2, SUBSET_SUM_OVERVIEW
+from repro.core import (
+    build_stratified_system,
+    compute_depth_bound,
+    descent_depth_bound,
+    procedures_without_base_case,
+    run_height_analysis,
+    transform_missing_base_cases,
+)
+from repro.lang import parse_program
+
+
+def _scc_setup(source, names):
+    program = parse_program(source)
+    procedures = {p.name: p for p in program.procedures}
+    contexts = {
+        name: ProcedureContext.of(procedures[name], program.global_names)
+        for name in names
+    }
+    return program, procedures, contexts
+
+
+class TestHeightAnalysisAlg2:
+    def test_subset_sum_candidate_terms_and_recurrences(self):
+        program, procedures, contexts = _scc_setup(SUBSET_SUM_OVERVIEW, ["subsetSumAux"])
+        analysis = run_height_analysis(contexts, {}, procedures)
+        terms = [str(b.term) for b in analysis.bound_symbols["subsetSumAux"]]
+        # The §2 candidate terms: return' and nTicks' - nTicks - 1 are present
+        # (possibly among others).
+        assert any("return'" in t for t in terms)
+        assert any("nTicks" in t for t in terms)
+        assert analysis.candidate_inequations
+        system = build_stratified_system(
+            analysis.candidate_inequations, analysis.bound_symbols["subsetSumAux"]
+        )
+        assert system.equations
+        solution = system.solve()
+        # The nTicks bounding function solves to an exponential: 2^h shape.
+        exponential = [
+            closed
+            for closed in solution.values()
+            if closed.expression.dominant_term()[0] >= 2
+        ]
+        assert exponential
+
+
+class TestDepthBoundSection42:
+    def test_subset_sum_descent_witness(self):
+        program, procedures, contexts = _scc_setup(SUBSET_SUM_OVERVIEW, ["subsetSumAux"])
+        analysis = run_height_analysis(contexts, {}, procedures)
+        witness = descent_depth_bound(
+            contexts, analysis.base_summaries, {}, procedures
+        )
+        assert witness is not None
+        # The ranking expression is n - i, decreasing arithmetically.
+        n, i = sympy.symbols("n i", positive=True)
+        assert sympy.simplify(witness.symbolic_height_bound() - (n - i + 1)) == 0
+
+    def test_alg4_polyhedral_constraints(self):
+        program, procedures, contexts = _scc_setup(SUBSET_SUM_OVERVIEW, ["subsetSumAux"])
+        analysis = run_height_analysis(contexts, {}, procedures)
+        depth = compute_depth_bound(
+            "subsetSumAux", contexts, analysis.base_summaries, {}, procedures
+        )
+        # Some polyhedral constraint ties the height to the parameters.
+        assert depth.constraints
+        assert depth.symbolic_bound is not None
+
+
+class TestMissingBaseSection45:
+    def test_p3_detected_and_transformed(self):
+        program = parse_program(MISSING_BASE_P3_P4)
+        assert procedures_without_base_case(program) == frozenset({"P3"})
+        transformed = transform_missing_base_cases(program)
+        names = set(transformed.procedure_names)
+        assert "P4_no_P3" in names
+        # After the transformation, no procedure lacks a base case.
+        assert not procedures_without_base_case(transformed)
+
+    def test_programs_with_base_cases_untouched(self):
+        program = parse_program(SUBSET_SUM_OVERVIEW)
+        assert procedures_without_base_case(program) == frozenset()
+        assert transform_missing_base_cases(program) is program
+
+
+class TestMutualRecursionSection44:
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_SLOW_TESTS"),
+        reason="analysing the Ex. 4.1 component takes several minutes in this "
+        "pure-Python build (loops containing recursive calls); set "
+        "REPRO_SLOW_TESTS=1 to include it",
+    )
+    def test_coupled_recurrence_is_extracted(self):
+        """Ex. 4.1: the interleaved analysis produces a coupled recurrence whose
+        solution grows like 6^h (the full end-to-end run is exercised by the
+        ablation benchmark; here we check the candidate-extraction phase)."""
+        program, procedures, contexts = _scc_setup(MUTUAL_P1_P2, ["P1", "P2"])
+        analysis = run_height_analysis(contexts, {}, procedures)
+        # Both procedures contribute bounded terms over the global g.
+        assert analysis.bound_symbols["P1"]
+        assert analysis.bound_symbols["P2"]
+        assert any("g" in str(b.term) for b in analysis.bound_symbols["P1"])
+        # Candidate inequations couple P1's h+1 bounds to P2's h bounds.
+        p1_h1 = {b.at_h_plus_1 for b in analysis.bound_symbols["P1"]}
+        p2_h = {b.at_h for b in analysis.bound_symbols["P2"]}
+        coupled = [
+            inequation
+            for inequation in analysis.candidate_inequations
+            if (inequation.polynomial.symbols & p1_h1)
+            and (inequation.polynomial.symbols & p2_h)
+        ]
+        assert coupled

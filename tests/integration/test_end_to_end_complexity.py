@@ -1,0 +1,107 @@
+"""End-to-end tests for the complexity pipeline (Table 1 fast rows).
+
+Each test parses a benchmark program, runs the full CHORA analysis, checks
+the asymptotic classification against the paper's Table 1, and cross-checks
+*soundness* of the symbolic bound against concrete executions of the program
+(the interpreter is the ground-truth oracle).
+"""
+
+import sympy
+import pytest
+
+from repro.benchlib import benchmark_by_name
+from repro.core import analyze_program, cost_bound
+from repro.lang import Interpreter, parse_program
+
+
+def analyse(name):
+    spec = benchmark_by_name(name)
+    program = parse_program(spec.source)
+    result = analyze_program(program)
+    bound = cost_bound(
+        result, spec.procedure, spec.cost_variable, substitutions=spec.substitutions
+    )
+    return spec, program, bound
+
+
+class TestClassifications:
+    def test_hanoi_is_exponential(self):
+        _, _, bound = analyse("hanoi")
+        assert bound.asymptotic == "O(2^n)"
+
+    def test_fibonacci_is_exponential(self):
+        _, _, bound = analyse("fibonacci")
+        assert bound.asymptotic == "O(2^n)"
+
+    def test_subset_sum_is_exponential(self):
+        _, _, bound = analyse("subset_sum")
+        assert bound.asymptotic == "O(2^n)"
+
+    def test_bst_copy_is_exponential(self):
+        _, _, bound = analyse("bst_copy")
+        assert bound.asymptotic == "O(2^n)"
+
+    def test_ball_bins3_is_three_to_the_n(self):
+        _, _, bound = analyse("ball_bins3")
+        assert bound.asymptotic == "O(3^n)"
+
+    def test_mergesort_is_n_log_n(self):
+        _, _, bound = analyse("mergesort")
+        assert bound.asymptotic == "O(n*log(n))"
+
+    def test_karatsuba_matches_paper_exponent(self):
+        _, _, bound = analyse("karatsuba")
+        assert bound.asymptotic == "O(n^log2(3))"
+
+
+class TestSoundnessAgainstInterpreter:
+    @pytest.mark.parametrize("name,args", [
+        ("hanoi", lambda n: [n, 1, 3, 2]),
+        ("ball_bins3", lambda n: [n]),
+        ("bst_copy", lambda n: [n]),
+        ("fibonacci", lambda n: [n]),
+    ])
+    def test_cost_bound_covers_concrete_runs(self, name, args):
+        spec, program, bound = analyse(name)
+        assert bound.found
+        n = sympy.Symbol("n", positive=True)
+        depth_symbol = sympy.Symbol("depth", positive=True)
+        for size in spec.test_sizes:
+            interpreter = Interpreter(program, max_steps=10_000_000)
+            run = interpreter.run(spec.procedure, args(size))
+            actual_cost = run.globals[spec.cost_variable]
+            substituted = bound.expression.subs(n, size).subs(depth_symbol, size)
+            predicted = float(sympy.N(substituted))
+            assert actual_cost <= predicted + 1e-6, (name, size, actual_cost, predicted)
+
+    def test_hanoi_bound_is_exact(self):
+        spec, program, bound = analyse("hanoi")
+        n = sympy.Symbol("n", positive=True)
+        for size in (1, 2, 3, 4, 5, 6):
+            actual = Interpreter(program).run(spec.procedure, [size, 1, 3, 2]).globals["cost"]
+            assert actual == 2**size - 1
+            assert sympy.simplify(bound.expression.subs(n, size) - actual) == 0
+
+
+class TestOverviewExample:
+    def test_subset_sum_overview_summary(self):
+        """The §2 worked example: nTicks <= 2^h - 1, return <= h - 1, h <= 1 + n - i."""
+        from repro.benchlib import SUBSET_SUM_OVERVIEW
+        from repro.core import return_bound
+
+        program = parse_program(SUBSET_SUM_OVERVIEW)
+        result = analyze_program(program)
+        summary = result.summaries["subsetSumAux"]
+        assert summary.is_recursive
+        assert summary.bounded_terms
+        # Depth bound: h <= 1 + n - i (arithmetic descent on n - i).
+        n, i = sympy.symbols("n i", positive=True)
+        assert summary.depth_bound.symbolic_bound is not None
+        assert sympy.simplify(summary.depth_bound.symbolic_bound - (n - i + 1)) == 0
+        # Cost and return-value bounds at i = 0.
+        ticks = cost_bound(result, "subsetSumAux", "nTicks", substitutions={"i": 0, "sum": 0})
+        assert ticks.asymptotic == "O(2^n)"
+        ret = return_bound(result, "subsetSumAux", substitutions={"i": 0, "sum": 0})
+        assert ret.found
+        # return' <= h - 1 <= n: linear in n.
+        assert ret.asymptotic in ("O(n)", "O(1)")

@@ -1,0 +1,159 @@
+"""Unit tests for symbolic abstraction (Abstract / Alg. 1 and its non-linear variant)."""
+
+import pytest
+
+from repro.abstraction import (
+    AbstractionOptions,
+    abstract,
+    formula_entails,
+    is_formula_satisfiable,
+)
+from repro.formulas import (
+    Polynomial,
+    atom_eq,
+    atom_ge,
+    atom_le,
+    conjoin,
+    disjoin,
+    exists,
+    fresh,
+    post,
+    sym,
+)
+from repro.polyhedra import LinearConstraint
+
+X, Y, Z = sym("x"), sym("y"), sym("z")
+XP, YP = post("x"), post("y")
+PX, PY, PZ = Polynomial.var(X), Polynomial.var(Y), Polynomial.var(Z)
+PXP, PYP = Polynomial.var(XP), Polynomial.var(YP)
+
+
+def entailed(result, polynomial):
+    """Whether the abstraction entails ``polynomial <= 0``."""
+    atoms = []
+    for ineq in result.inequations:
+        atoms.extend(ineq.as_le_list())
+    from repro.polyhedra import entails, LinearConstraint
+    from repro.abstraction import LinearizationContext
+
+    context = LinearizationContext()
+    constraints = [LinearConstraint.le(context.linearize_polynomial(p)) for p in atoms]
+    candidate = LinearConstraint.le(context.linearize_polynomial(polynomial))
+    return entails(constraints, candidate)
+
+
+class TestLinearAbstraction:
+    def test_projection_of_conjunction(self):
+        # x' = x + 1 and x <= 5  implies  x' <= 6 over {x'}
+        formula = conjoin([atom_eq(PXP, PX + 1), atom_le(PX, 5)])
+        result = abstract(formula, [XP])
+        assert entailed(result, PXP - 6)
+
+    def test_join_of_branches(self):
+        # (x' = 1) or (x' = 3)  implies  1 <= x' <= 3
+        formula = disjoin([atom_eq(PXP, 1), atom_eq(PXP, 3)])
+        result = abstract(formula, [XP])
+        assert entailed(result, PXP - 3)
+        assert entailed(result, 1 - PXP)
+
+    def test_join_discovers_rotated_face(self):
+        # (x'=0 and y'=0) or (x'=2 and y'=2) implies x' = y' on the hull.
+        formula = disjoin(
+            [
+                conjoin([atom_eq(PXP, 0), atom_eq(PYP, 0)]),
+                conjoin([atom_eq(PXP, 2), atom_eq(PYP, 2)]),
+            ]
+        )
+        result = abstract(formula, [XP, YP])
+        assert entailed(result, PXP - PYP)
+        assert entailed(result, PYP - PXP)
+
+    def test_exists_is_projected(self):
+        t = fresh("t")
+        pt = Polynomial.var(t)
+        # exists t. x' = t and t <= y   implies  x' <= y
+        formula = exists([t], conjoin([atom_eq(PXP, pt), atom_le(pt, PY)]))
+        result = abstract(formula, [XP, Y])
+        assert entailed(result, PXP - PY)
+
+    def test_unsat_formula_yields_contradiction(self):
+        formula = conjoin([atom_le(PX, 0), atom_ge(PX, 1)])
+        result = abstract(formula, [X])
+        assert result.polyhedron.is_empty()
+
+    def test_weak_join_option_is_sound(self):
+        formula = disjoin([atom_eq(PXP, 1), atom_eq(PXP, 3)])
+        weak = abstract(formula, [XP], AbstractionOptions(exact_hull=False))
+        assert entailed(weak, PXP - 3)
+
+    def test_irrelevant_symbols_dropped(self):
+        formula = conjoin([atom_le(PX, PY), atom_le(PY, PZ)])
+        result = abstract(formula, [X, Z])
+        assert entailed(result, PX - PZ)
+        symbols = set()
+        for ineq in result.inequations:
+            symbols |= ineq.polynomial.symbols
+        assert Y not in symbols
+
+
+class TestNonlinearAbstraction:
+    def test_square_is_nonnegative(self):
+        # y' = x*x  implies  y' >= 0
+        formula = atom_eq(PYP, PX * PX)
+        result = abstract(formula, [YP])
+        assert entailed(result, -PYP)
+
+    def test_product_of_nonnegatives(self):
+        # x >= 0, y >= 0, z = x*y  implies  z >= 0
+        formula = conjoin([atom_ge(PX, 0), atom_ge(PY, 0), atom_eq(PZ, PX * PY)])
+        result = abstract(formula, [Z])
+        assert entailed(result, -PZ)
+
+    def test_constant_factor_collapses_product(self):
+        # x = 3, z = x*y  implies  z = 3y
+        formula = conjoin([atom_eq(PX, 3), atom_eq(PZ, PX * PY)])
+        result = abstract(formula, [Z, Y])
+        assert entailed(result, PZ - 3 * PY)
+        assert entailed(result, 3 * PY - PZ)
+
+    def test_bounded_factor_bounds_product(self):
+        # 0 <= x <= 2, y >= 0, z = x*y  implies  z <= 2y
+        formula = conjoin(
+            [atom_ge(PX, 0), atom_le(PX, 2), atom_ge(PY, 0), atom_eq(PZ, PX * PY)]
+        )
+        result = abstract(formula, [Z, Y])
+        assert entailed(result, PZ - 2 * PY)
+
+    def test_congruence_of_equal_monomials(self):
+        # y = x*x and z = x*x  implies  y = z
+        formula = conjoin([atom_eq(PY, PX * PX), atom_eq(PZ, PX * PX)])
+        result = abstract(formula, [Y, Z])
+        assert entailed(result, PY - PZ)
+        assert entailed(result, PZ - PY)
+
+
+class TestSatisfiabilityAndEntailment:
+    def test_satisfiable(self):
+        assert is_formula_satisfiable(atom_le(PX, 5))
+
+    def test_unsatisfiable_linear(self):
+        assert not is_formula_satisfiable(conjoin([atom_le(PX, 0), atom_ge(PX, 1)]))
+
+    def test_unsatisfiable_via_squares(self):
+        # x*x < 0 is unsatisfiable thanks to the even-power rule.
+        formula = atom_le(PX * PX, -1)
+        assert not is_formula_satisfiable(formula)
+
+    def test_entails_simple(self):
+        hypothesis = conjoin([atom_le(PX, PY), atom_le(PY, PZ)])
+        assert formula_entails(hypothesis, atom_le(PX, PZ))
+        assert not formula_entails(hypothesis, atom_le(PZ, PX))
+
+    def test_entails_disjunctive_conclusion(self):
+        hypothesis = atom_eq(PX, 3)
+        conclusion = disjoin([atom_le(PX, 2), atom_ge(PX, 3)])
+        assert formula_entails(hypothesis, conclusion)
+
+    def test_entails_equality_conclusion(self):
+        hypothesis = conjoin([atom_le(PX, PY), atom_le(PY, PX)])
+        assert formula_entails(hypothesis, atom_eq(PX, PY))

@@ -1,0 +1,238 @@
+"""Unit tests for intraprocedural analysis: loop summarization and path summaries."""
+
+import pytest
+
+from repro.abstraction import abstract, formula_entails, is_formula_satisfiable
+from repro.analysis import ProcedureContext, path_summary, summarize_loop, summarize_procedure
+from repro.formulas import (
+    Polynomial,
+    TransitionFormula,
+    atom_eq,
+    atom_ge,
+    atom_le,
+    conjoin,
+    post,
+    pre,
+)
+from repro.lang import ast, build_cfg, parse_program
+from repro.lang.semantics import assign_transition, assume_transition
+
+
+def entails_over(summary: TransitionFormula, variables, conclusion):
+    """Entailment over a summary with explicit frame conjuncts."""
+    return formula_entails(summary.to_formula(variables), conclusion)
+
+
+class TestLoopSummary:
+    def test_counter_loop(self):
+        # body: assume(i < n); i = i + 1; cost = cost + 1
+        body = (
+            assume_transition(ast.Compare("<", ast.VarRef("i"), ast.VarRef("n")))
+            .compose(assign_transition("i", ast.BinOp("+", ast.VarRef("i"), ast.IntLit(1))))
+            .compose(assign_transition("cost", ast.BinOp("+", ast.VarRef("cost"), ast.IntLit(1))))
+        )
+        star = summarize_loop(body)
+        variables = ["i", "n", "cost"]
+        ip, np_, cp = Polynomial.var(post("i")), Polynomial.var(post("n")), Polynomial.var(post("cost"))
+        i0, n0, c0 = Polynomial.var(pre("i")), Polynomial.var(pre("n")), Polynomial.var(pre("cost"))
+        # n is invariant.
+        assert entails_over(star, variables, atom_eq(np_, n0))
+        # i only grows, and cost grows with i.
+        assert entails_over(star, variables, atom_ge(ip, i0))
+        assert entails_over(star, variables, atom_eq(cp - c0, ip - i0))
+        # Last-iteration guard: when i starts below n, i never exceeds n.
+        hypothesis = conjoin([star.to_formula(variables), atom_le(i0, n0)])
+        assert formula_entails(hypothesis, atom_le(ip, n0))
+
+    def test_loop_bound_from_guard(self):
+        # When the loop can run at all (i <= n), its cost increase is at most n - i0.
+        body = (
+            assume_transition(ast.Compare("<", ast.VarRef("i"), ast.VarRef("n")))
+            .compose(assign_transition("i", ast.BinOp("+", ast.VarRef("i"), ast.IntLit(1))))
+            .compose(assign_transition("cost", ast.BinOp("+", ast.VarRef("cost"), ast.IntLit(1))))
+        )
+        star = summarize_loop(body)
+        variables = ["i", "n", "cost"]
+        cp, c0 = Polynomial.var(post("cost")), Polynomial.var(pre("cost"))
+        n0, i0 = Polynomial.var(pre("n")), Polynomial.var(pre("i"))
+        hypothesis = conjoin([star.to_formula(variables), atom_le(i0, n0)])
+        assert formula_entails(hypothesis, atom_le(cp - c0, n0 - i0))
+
+    def test_identity_branch_included(self):
+        body = assume_transition(ast.Compare("<", ast.VarRef("i"), ast.VarRef("n"))).compose(
+            assign_transition("i", ast.BinOp("+", ast.VarRef("i"), ast.IntLit(1)))
+        )
+        star = summarize_loop(body)
+        # Zero iterations must be allowed: i' = i is satisfiable.
+        formula = star.to_formula(["i", "n"])
+        assert is_formula_satisfiable(
+            conjoin([formula, atom_eq(Polynomial.var(post("i")), Polynomial.var(pre("i")))])
+        )
+
+    def test_bottom_body_is_identity(self):
+        star = summarize_loop(TransitionFormula.bottom())
+        assert star.is_identity
+
+    def test_nonlinear_accumulation(self):
+        # body: assume(i < n); i++; cost = cost + i0-style triangle sum gives ~K^2/2.
+        body = (
+            assume_transition(ast.Compare("<", ast.VarRef("i"), ast.VarRef("n")))
+            .compose(assign_transition("cost", ast.BinOp("+", ast.VarRef("cost"), ast.VarRef("i"))))
+            .compose(assign_transition("i", ast.BinOp("+", ast.VarRef("i"), ast.IntLit(1))))
+        )
+        star = summarize_loop(body)
+        variables = ["i", "n", "cost"]
+        # Sanity: still sound w.r.t. a concrete run i0=0, n=3: cost increases by 0+1+2=3.
+        formula = star.to_formula(variables)
+        concrete = conjoin(
+            [
+                formula,
+                atom_eq(Polynomial.var(pre("i")), 0),
+                atom_eq(Polynomial.var(pre("n")), 3),
+                atom_eq(Polynomial.var(pre("cost")), 0),
+                atom_eq(Polynomial.var(post("i")), 3),
+                atom_eq(Polynomial.var(post("cost")), 3),
+            ]
+        )
+        assert is_formula_satisfiable(concrete)
+
+
+class TestPathSummary:
+    def no_calls(self, edge):  # pragma: no cover - never invoked
+        raise AssertionError("unexpected call edge")
+
+    def test_straight_line_procedure(self):
+        program = parse_program("int f(int n) { int x = n + 1; return x * 2; }")
+        cfg = build_cfg(program.procedure("f"))
+        summary = path_summary(cfg, self.no_calls)
+        variables = cfg.variables(())
+        ret = Polynomial.var(post("return"))
+        n0 = Polynomial.var(pre("n"))
+        assert entails_over(summary, variables, atom_eq(ret, 2 * n0 + 2))
+
+    def test_branching_procedure(self):
+        program = parse_program(
+            "int f(int n) { int r = 0; if (n > 0) { r = 1; } else { r = 2; } return r; }"
+        )
+        cfg = build_cfg(program.procedure("f"))
+        summary = path_summary(cfg, self.no_calls)
+        variables = cfg.variables(())
+        ret = Polynomial.var(post("return"))
+        assert entails_over(summary, variables, atom_ge(ret, 1))
+        assert entails_over(summary, variables, atom_le(ret, 2))
+
+    def test_loop_procedure(self):
+        program = parse_program(
+            """
+            int cost;
+            int count(int n) { int i = 0; while (i < n) { i = i + 1; cost = cost + 1; } return i; }
+            """
+        )
+        cfg = build_cfg(program.procedure("count"))
+        summary = path_summary(cfg, self.no_calls)
+        variables = cfg.variables(("cost",))
+        cost_delta = Polynomial.var(post("cost")) - Polynomial.var(pre("cost"))
+        n0 = Polynomial.var(pre("n"))
+        # For non-negative n, the loop body runs at most n times.
+        hypothesis = conjoin([summary.to_formula(variables), atom_ge(n0, 0)])
+        assert formula_entails(hypothesis, atom_le(cost_delta, n0))
+        assert entails_over(summary, variables, atom_ge(cost_delta, 0))
+
+    def test_call_edge_uses_interpretation(self):
+        program = parse_program("int f(int n) { int x = g(n); return x + 1; }")
+        cfg = build_cfg(program.procedure("f"))
+
+        def interpret(edge):
+            # g behaves as return := n (callee vocabulary: its parameter is n).
+            return TransitionFormula.relation(
+                atom_eq(Polynomial.var(post("return")), Polynomial.var(pre("n"))),
+                ["return"],
+            )
+
+        from repro.analysis import inline_call
+
+        callee = ast.Procedure("g", (ast.Parameter("n"),), ast.Block(()), True)
+
+        def call_interpretation(edge):
+            return inline_call(edge, callee, interpret(edge))
+
+        summary = path_summary(cfg, call_interpretation)
+        variables = cfg.variables(())
+        assert entails_over(
+            summary,
+            variables,
+            atom_eq(Polynomial.var(post("return")), Polynomial.var(pre("n")) + 1),
+        )
+
+
+NONREC_PROGRAM = """
+int g;
+int helper(int a) { g = g + a; return a + 1; }
+int top(int n) { int r = helper(n); return r + helper(0); }
+"""
+
+
+class TestSummarizeProcedure:
+    def test_base_case_summary_with_false_recursion(self):
+        program = parse_program(
+            "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }"
+        )
+        procedure = program.procedure("fib")
+        context = ProcedureContext.of(procedure, ())
+        summary = summarize_procedure(
+            context,
+            recursive_interpretation={"fib": TransitionFormula.bottom()},
+            external_summaries={},
+            procedures={"fib": procedure},
+        )
+        variables = context.summary_variables
+        ret = Polynomial.var(post("return"))
+        n0 = Polynomial.var(pre("n"))
+        # Base case: return' = n and n <= 1.
+        assert entails_over(summary, variables, atom_eq(ret, n0))
+        assert entails_over(summary, variables, atom_le(n0, 1))
+
+    def test_nonrecursive_chain(self):
+        program = parse_program(NONREC_PROGRAM)
+        helper = program.procedure("helper")
+        top = program.procedure("top")
+        helper_context = ProcedureContext.of(helper, program.global_names)
+        helper_summary = summarize_procedure(
+            helper_context, {}, {}, {p.name: p for p in program.procedures}
+        )
+        g_delta = Polynomial.var(post("g")) - Polynomial.var(pre("g"))
+        assert entails_over(
+            helper_summary,
+            helper_context.summary_variables,
+            atom_eq(Polynomial.var(post("return")), Polynomial.var(pre("a")) + 1),
+        )
+        assert entails_over(
+            helper_summary,
+            helper_context.summary_variables,
+            atom_eq(g_delta, Polynomial.var(pre("a"))),
+        )
+        top_context = ProcedureContext.of(top, program.global_names)
+        top_summary = summarize_procedure(
+            top_context,
+            {},
+            {"helper": helper_summary},
+            {p.name: p for p in program.procedures},
+        )
+        # top(n): r = n+1, second call returns 1, so return' = n + 2, g' = g + n.
+        assert entails_over(
+            top_summary,
+            top_context.summary_variables,
+            atom_eq(Polynomial.var(post("return")), Polynomial.var(pre("n")) + 2),
+        )
+        assert entails_over(
+            top_summary,
+            top_context.summary_variables,
+            atom_eq(g_delta, Polynomial.var(pre("n"))),
+        )
+
+    def test_locals_are_hidden(self):
+        program = parse_program("int f(int n) { int local = n * 3; return local; }")
+        procedure = program.procedure("f")
+        context = ProcedureContext.of(procedure, ())
+        summary = summarize_procedure(context, {}, {}, {"f": procedure})
+        assert "local" not in summary.footprint

@@ -1,0 +1,199 @@
+"""Unit tests for the formula AST: construction, negation, substitution, DNF."""
+
+import pytest
+
+from repro.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    AtomKind,
+    Exists,
+    Or,
+    Polynomial,
+    atom_eq,
+    atom_ge,
+    atom_le,
+    atom_lt,
+    conjoin,
+    disjoin,
+    exists,
+    formula_size,
+    free_symbols,
+    fresh,
+    map_atoms,
+    negate,
+    post,
+    rename,
+    substitute,
+    sym,
+    to_dnf,
+)
+
+X = sym("x")
+Y = sym("y")
+XP = post("x")
+PX = Polynomial.var(X)
+PY = Polynomial.var(Y)
+
+
+class TestSmartConstructors:
+    def test_atom_le_normalizes(self):
+        atom = atom_le(PX, PY)
+        assert isinstance(atom, Atom)
+        assert atom.kind is AtomKind.LE
+        assert atom.polynomial == PX - PY
+
+    def test_atom_ge_swaps(self):
+        atom = atom_ge(PX, 3)
+        assert isinstance(atom, Atom)
+        assert atom.polynomial == Polynomial.constant(3) - PX
+
+    def test_constant_atoms_fold(self):
+        assert atom_le(1, 2) == TRUE
+        assert atom_le(2, 1) == FALSE
+        assert atom_eq(5, 5) == TRUE
+        assert atom_lt(3, 3) == FALSE
+
+    def test_conjoin_flattens_and_simplifies(self):
+        a = atom_le(PX, 0)
+        assert conjoin([TRUE, a]) == a
+        assert conjoin([a, FALSE]) == FALSE
+        nested = conjoin([conjoin([a, atom_le(PY, 0)]), atom_le(PX, 1)])
+        assert isinstance(nested, And)
+        assert len(nested.children) == 3
+
+    def test_disjoin_flattens_and_simplifies(self):
+        a = atom_le(PX, 0)
+        assert disjoin([FALSE, a]) == a
+        assert disjoin([a, TRUE]) == TRUE
+        nested = disjoin([disjoin([a, atom_le(PY, 0)]), atom_le(PX, 1)])
+        assert isinstance(nested, Or)
+        assert len(nested.children) == 3
+
+    def test_exists_drops_unused_symbols(self):
+        a = atom_le(PX, 0)
+        assert exists([Y], a) == a
+
+    def test_exists_flattens(self):
+        a = atom_le(PX + PY, 0)
+        nested = exists([X], exists([Y], a))
+        assert isinstance(nested, Exists)
+        assert set(nested.symbols) == {X, Y}
+
+    def test_and_or_operators(self):
+        a = atom_le(PX, 0)
+        b = atom_le(PY, 0)
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+
+
+class TestNegation:
+    def test_negate_le_integer_semantics(self):
+        # not(x <= 0)  ==  x >= 1  ==  1 - x <= 0
+        neg = negate(atom_le(PX, 0))
+        assert isinstance(neg, Atom)
+        assert neg.polynomial == Polynomial.constant(1) - PX
+
+    def test_negate_le_rational_semantics(self):
+        neg = negate(atom_le(PX, 0), integer_semantics=False)
+        assert isinstance(neg, Atom)
+        assert neg.kind is AtomKind.LT
+
+    def test_negate_eq_is_disjunction(self):
+        neg = negate(atom_eq(PX, 0))
+        assert isinstance(neg, Or)
+        assert len(neg.children) == 2
+
+    def test_negate_true_false(self):
+        assert negate(TRUE) == FALSE
+        assert negate(FALSE) == TRUE
+
+    def test_negate_de_morgan(self):
+        formula = conjoin([atom_le(PX, 0), atom_le(PY, 0)])
+        neg = negate(formula)
+        assert isinstance(neg, Or)
+
+    def test_negate_exists_raises(self):
+        with pytest.raises(ValueError):
+            negate(exists([X], atom_le(PX, 0)))
+
+
+class TestTraversals:
+    def test_free_symbols(self):
+        formula = conjoin([atom_le(PX, PY), atom_le(Polynomial.var(XP), 0)])
+        assert free_symbols(formula) == frozenset({X, Y, XP})
+
+    def test_free_symbols_respects_binding(self):
+        formula = exists([X], atom_le(PX, PY))
+        assert free_symbols(formula) == frozenset({Y})
+
+    def test_substitute(self):
+        # x <= y with x := y + 1 yields the contradictory constant atom 1 <= 0,
+        # which the smart constructor folds to FALSE.
+        out = substitute(atom_le(PX, PY), {X: PY + 1})
+        assert out == FALSE
+        # x <= y + 2 with x := y + 1 folds to TRUE.
+        out2 = substitute(atom_le(PX, PY + 2), {X: PY + 1})
+        assert out2 == TRUE
+
+    def test_substitute_does_not_touch_bound(self):
+        formula = exists([X], atom_le(PX, PY))
+        out = substitute(formula, {X: Polynomial.constant(5)})
+        assert out == formula
+
+    def test_rename(self):
+        formula = atom_le(PX, 0)
+        out = rename(formula, {X: Y})
+        assert free_symbols(out) == frozenset({Y})
+
+    def test_map_atoms(self):
+        formula = conjoin([atom_le(PX, 0), atom_le(PY, 0)])
+        out = map_atoms(formula, lambda a: atom_le(a.polynomial + 1, 0))
+        assert isinstance(out, And)
+        assert all(c.polynomial.constant_value == 1 for c in out.children)
+
+    def test_formula_size(self):
+        formula = conjoin([atom_le(PX, 0), disjoin([atom_le(PY, 0), TRUE])])
+        assert formula_size(formula) >= 1
+
+
+class TestDnf:
+    def test_atom_single_cube(self):
+        cubes = to_dnf(atom_le(PX, 0))
+        assert len(cubes) == 1
+        assert len(cubes[0].atoms) == 1
+
+    def test_true_and_false(self):
+        assert len(to_dnf(TRUE)) == 1
+        assert to_dnf(TRUE)[0].is_empty
+        assert to_dnf(FALSE) == []
+
+    def test_distribution(self):
+        a, b, c, d = (atom_le(PX, i) for i in range(4))
+        formula = conjoin([disjoin([a, b]), disjoin([c, d])])
+        cubes = to_dnf(formula)
+        assert len(cubes) == 4
+        assert all(len(cube.atoms) == 2 for cube in cubes)
+
+    def test_exists_collects_bound_symbols(self):
+        t = fresh("t")
+        formula = exists([t], atom_le(Polynomial.var(t), PX))
+        cubes = to_dnf(formula)
+        assert len(cubes) == 1
+        assert t in cubes[0].bound
+
+    def test_cube_limit_collapses_soundly(self):
+        # 2^12 cubes would exceed a limit of 16; the result must still contain
+        # the common atom of every disjunct.
+        common = atom_le(PX, 0)
+        disjuncts = []
+        for i in range(12):
+            disjuncts.append(
+                disjoin([conjoin([common, atom_le(PY, i)]),
+                         conjoin([common, atom_le(PY, -i)])])
+            )
+        formula = conjoin(disjuncts)
+        cubes = to_dnf(formula, cube_limit=16)
+        assert cubes
+        assert len(cubes) <= 16

@@ -1,0 +1,316 @@
+"""Unit tests for the recurrence subsystem: ExpPoly, C-finite solving, stratified systems."""
+
+from fractions import Fraction
+
+import pytest
+import sympy
+
+from repro.formulas import Polynomial, sym
+from repro.recurrence import (
+    ClosedForm,
+    ExpPoly,
+    RecurrenceEquation,
+    RecurrenceSolvingError,
+    StratifiedSystem,
+    geometric_convolution,
+    solve_first_order,
+    solve_linear_system,
+)
+
+H = ExpPoly.zero().var  # the default sequence variable
+N = sympy.Symbol("n", positive=True)
+
+
+class TestExpPoly:
+    def test_constant_and_zero(self):
+        assert ExpPoly.zero().is_zero
+        assert ExpPoly.constant(5).evaluate(3) == 5
+        assert ExpPoly.constant(5).is_constant
+
+    def test_variable(self):
+        assert ExpPoly.variable().evaluate(7) == 7
+
+    def test_exponential_evaluation(self):
+        e = ExpPoly.exponential(2, 3)  # 3 * 2^h
+        assert e.evaluate(0) == 3
+        assert e.evaluate(4) == 48
+
+    def test_addition_merges_bases(self):
+        e = ExpPoly.exponential(2) + ExpPoly.exponential(2) + ExpPoly.constant(1)
+        assert e.evaluate(3) == 17
+
+    def test_subtraction_cancels(self):
+        e = ExpPoly.exponential(2) - ExpPoly.exponential(2)
+        assert e.is_zero
+
+    def test_multiplication_multiplies_bases(self):
+        e = ExpPoly.exponential(2) * ExpPoly.exponential(3)
+        assert e.evaluate(2) == 36
+        assert sympy.Integer(6) in e.terms
+
+    def test_square_of_shifted_exponential(self):
+        # (2^h - 1)^2 = 4^h - 2*2^h + 1
+        e = (ExpPoly.exponential(2) - ExpPoly.constant(1)) ** 2
+        assert e.evaluate(3) == 49
+        assert set(e.terms) == {sympy.Integer(4), sympy.Integer(2), sympy.Integer(1)}
+
+    def test_shift(self):
+        e = ExpPoly.exponential(2) + ExpPoly.variable()  # 2^h + h
+        shifted = e.shift(1)  # 2^(h+1) + h + 1
+        assert shifted.evaluate(2) == 8 + 3
+
+    def test_negative_base(self):
+        e = ExpPoly.exponential(-2)
+        assert e.evaluate(3) == -8
+
+    def test_dominant_term(self):
+        e = ExpPoly.exponential(2) + ExpPoly.polynomial(H**3)
+        base, degree = e.dominant_term()
+        assert base == 2
+
+    def test_dominant_term_polynomial(self):
+        e = ExpPoly.polynomial(H**2 + H)
+        base, degree = e.dominant_term()
+        assert base == 1
+        assert degree == 2
+
+    def test_substitute_plain(self):
+        e = ExpPoly.exponential(2) + ExpPoly.variable()
+        expr = e.substitute(N)
+        assert sympy.simplify(expr - (2**N + N)) == 0
+
+    def test_substitute_log_rewrites_power(self):
+        # 2^(log2(n) + 1) should become 2*n.
+        e = ExpPoly.exponential(2)
+        expr = e.substitute(sympy.log(N, 2) + 1)
+        assert sympy.simplify(expr - 2 * N) == 0
+
+    def test_substitute_log_nontrivial_base(self):
+        # 7^(log2(n)) should become n^(log2 7).
+        e = ExpPoly.exponential(7)
+        expr = e.substitute(sympy.log(N, 2))
+        expected = N ** (sympy.log(7) / sympy.log(2))
+        assert sympy.simplify(sympy.log(expr) - sympy.log(expected)) == 0
+
+    def test_equality_semantic(self):
+        a = ExpPoly.exponential(2, 2)
+        b = ExpPoly.exponential(2) + ExpPoly.exponential(2)
+        assert a == b
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            ExpPoly(None, {0: 1})
+
+
+class TestGeometricConvolution:
+    def check_convolution(self, a, g, upto=6):
+        """Cross-check the closed form against the literal sum."""
+        closed = geometric_convolution(a, g)
+        for n in range(0, upto):
+            literal = sum(
+                sympy.Integer(a) ** (n - 1 - m) * g.evaluate(m) for m in range(n)
+            )
+            assert sympy.simplify(closed.evaluate(n) - literal) == 0, (a, g, n)
+
+    def test_constant_inhomogeneity_a2(self):
+        self.check_convolution(2, ExpPoly.constant(3))
+
+    def test_constant_inhomogeneity_a1(self):
+        self.check_convolution(1, ExpPoly.constant(5))
+
+    def test_polynomial_inhomogeneity(self):
+        self.check_convolution(1, ExpPoly.polynomial(H**2 + 1))
+
+    def test_exponential_inhomogeneity_distinct_base(self):
+        self.check_convolution(3, ExpPoly.exponential(2))
+
+    def test_exponential_inhomogeneity_resonant(self):
+        # Same base as the homogeneous coefficient: mergesort's h*2^h shape.
+        self.check_convolution(2, ExpPoly.exponential(2))
+
+    def test_mixed_inhomogeneity(self):
+        g = ExpPoly.exponential(4, 3) + ExpPoly.polynomial(2 * H + 1)
+        self.check_convolution(7, g)
+
+
+class TestSolveFirstOrder:
+    def check_recurrence(self, a, g, v0, k0, upto=8):
+        closed = solve_first_order(a, g, v0, k0)
+        value = sympy.Integer(v0)
+        for k in range(k0, k0 + upto):
+            if k >= closed.valid_from:
+                assert sympy.simplify(closed.evaluate(k) - value) == 0, (a, k)
+            value = sympy.Integer(a) * value + g.evaluate(k)
+
+    def test_hanoi_recurrence(self):
+        # b(h+1) = 2 b(h) + 1, b(1) = 0  =>  b(h) = 2^(h-1) - 1
+        closed = solve_first_order(2, ExpPoly.constant(1), 0, 1)
+        assert sympy.simplify(closed.expression.to_sympy() - (2 ** (H - 1) - 1)) == 0
+
+    def test_subset_sum_recurrence(self):
+        # b(h+1) = 2 b(h) + 2, b(1) = 0  =>  b(h) = 2^h - 2
+        closed = solve_first_order(2, ExpPoly.constant(2), 0, 1)
+        assert sympy.simplify(closed.expression.to_sympy() - (2**H - 2)) == 0
+
+    def test_counter_recurrence(self):
+        # b(h+1) = b(h) + 1, b(1) = 0  =>  b(h) = h - 1
+        closed = solve_first_order(1, ExpPoly.constant(1), 0, 1)
+        assert sympy.simplify(closed.expression.to_sympy() - (H - 1)) == 0
+
+    def test_mergesort_shape(self):
+        # b(h+1) = 2 b(h) + 2^h: resonance produces an h * 2^h term.
+        closed = solve_first_order(2, ExpPoly.exponential(2), 0, 1)
+        dominant = closed.expression.dominant_term()
+        assert dominant[0] == 2
+        assert dominant[1] >= 1
+        self.check_recurrence(2, ExpPoly.exponential(2), 0, 1)
+
+    def test_strassen_shape(self):
+        # b(h+1) = 7 b(h) + 4^h grows like 7^h.
+        closed = solve_first_order(7, ExpPoly.exponential(4), 0, 1)
+        assert closed.expression.dominant_term()[0] == 7
+        self.check_recurrence(7, ExpPoly.exponential(4), 0, 1)
+
+    def test_zero_coefficient(self):
+        # b(k+1) = g(k): closed form is a shifted copy, valid after the start.
+        closed = solve_first_order(0, ExpPoly.variable(), 5, 1)
+        assert closed.valid_from == 2
+        assert closed.evaluate(3) == 2
+
+    def test_generic_cross_check(self):
+        self.check_recurrence(3, ExpPoly.polynomial(H + 2), 1, 0)
+        self.check_recurrence(1, ExpPoly.exponential(2, 5), 2, 1)
+
+
+class TestSolveLinearSystem:
+    def test_mutual_recursion_example(self):
+        # Ex. 4.1:  b1(h+1) = 18 b2(h) + 17,  b2(h+1) = 2 b1(h) + 1, zero at h=1.
+        forms = solve_linear_system(
+            [[0, 18], [2, 0]],
+            [ExpPoly.constant(17), ExpPoly.constant(1)],
+            [0, 0],
+            initial_index=1,
+        )
+        b1, b2 = forms
+        # Iterate to cross-check.
+        v1, v2 = 0, 0
+        for h in range(1, 8):
+            assert sympy.simplify(b1.evaluate(h) - v1) == 0
+            assert sympy.simplify(b2.evaluate(h) - v2) == 0
+            v1, v2 = 18 * v2 + 17, 2 * v1 + 1
+        # Dominant growth is 6^h for both components.
+        assert abs(b1.expression.dominant_term()[0]) == 6
+        assert abs(b2.expression.dominant_term()[0]) == 6
+
+    def test_coupled_symmetric_system(self):
+        # x(k+1) = x(k) + 2 y(k) + 1, y(k+1) = 2 x(k) + y(k): eigenvalues 3, -1.
+        forms = solve_linear_system(
+            [[1, 2], [2, 1]],
+            [ExpPoly.constant(1), ExpPoly.zero()],
+            [0, 0],
+            initial_index=0,
+        )
+        x, y = forms
+        vx, vy = 0, 0
+        for k in range(0, 8):
+            assert sympy.simplify(x.evaluate(k) - vx) == 0
+            assert sympy.simplify(y.evaluate(k) - vy) == 0
+            vx, vy = vx + 2 * vy + 1, 2 * vx + vy
+
+    def test_non_diagonalizable_raises(self):
+        with pytest.raises(RecurrenceSolvingError):
+            solve_linear_system(
+                [[1, 1], [0, 1]],
+                [ExpPoly.constant(1), ExpPoly.constant(1)],
+                [0, 0],
+            )
+
+
+def _bsym(name):
+    return sym(name)
+
+
+class TestStratifiedSystem:
+    def make_system(self, equations):
+        return StratifiedSystem(equations=equations, initial_value=0, initial_index=1)
+
+    def test_single_equation(self):
+        b = _bsym("b1")
+        system = self.make_system(
+            [RecurrenceEquation(b, 2 * Polynomial.var(b) + 2)]
+        )
+        solution = system.solve()
+        assert sympy.simplify(solution[b].expression.to_sympy() - (2**H - 2)) == 0
+
+    def test_triangular_with_nonlinear_lower_stratum(self):
+        # b_n(h+1) = 2 b_n(h) + 1      (size doubles going up the tree)
+        # b_c(h+1) = 2 b_c(h) + b_n(h)^2   (quadratic work per level: Strassen-like)
+        bn, bc = _bsym("b_n"), _bsym("b_c")
+        system = self.make_system(
+            [
+                RecurrenceEquation(bn, 2 * Polynomial.var(bn) + 1),
+                RecurrenceEquation(
+                    bc, 2 * Polynomial.var(bc) + Polynomial.var(bn) * Polynomial.var(bn)
+                ),
+            ]
+        )
+        solution = system.solve()
+        history = system.iterate(6)
+        for offset in range(0, 6):
+            h = 1 + offset
+            assert sympy.simplify(
+                solution[bn].evaluate(h) - history[bn][offset]
+            ) == 0
+            assert sympy.simplify(
+                solution[bc].evaluate(h) - history[bc][offset]
+            ) == 0
+        # The cost closed form is dominated by 4^h.
+        assert solution[bc].expression.dominant_term()[0] == 4
+
+    def test_mutual_recursion_in_stratified_form(self):
+        b1, b2 = _bsym("b1"), _bsym("b2")
+        system = self.make_system(
+            [
+                RecurrenceEquation(b1, 18 * Polynomial.var(b2) + 17),
+                RecurrenceEquation(b2, 2 * Polynomial.var(b1) + 1),
+            ]
+        )
+        solution = system.solve()
+        history = system.iterate(6)
+        for offset in range(0, 6):
+            h = 1 + offset
+            assert sympy.simplify(solution[b1].evaluate(h) - history[b1][offset]) == 0
+
+    def test_validate_rejects_duplicate_definition(self):
+        b = _bsym("b1")
+        system = self.make_system(
+            [
+                RecurrenceEquation(b, Polynomial.var(b)),
+                RecurrenceEquation(b, Polynomial.constant(1)),
+            ]
+        )
+        with pytest.raises(RecurrenceSolvingError):
+            system.solve()
+
+    def test_validate_rejects_undefined_use(self):
+        b1, b2 = _bsym("b1"), _bsym("b2")
+        system = self.make_system([RecurrenceEquation(b1, Polynomial.var(b2))])
+        with pytest.raises(RecurrenceSolvingError):
+            system.solve()
+
+    def test_validate_rejects_nonlinear_cycle(self):
+        b1, b2 = _bsym("b1"), _bsym("b2")
+        system = self.make_system(
+            [
+                RecurrenceEquation(b1, Polynomial.var(b2) * Polynomial.var(b2)),
+                RecurrenceEquation(b2, Polynomial.var(b1)),
+            ]
+        )
+        with pytest.raises(RecurrenceSolvingError):
+            system.solve()
+
+    def test_iterate_matches_hand_computation(self):
+        b = _bsym("b")
+        system = self.make_system([RecurrenceEquation(b, 2 * Polynomial.var(b) + 1)])
+        history = system.iterate(4)
+        assert history[b] == [0, 1, 3, 7, 15]

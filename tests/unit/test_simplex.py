@@ -1,0 +1,103 @@
+"""Unit tests for the exact rational simplex backend."""
+
+from fractions import Fraction
+
+from repro.formulas import Polynomial, sym
+from repro.polyhedra import LinearConstraint
+from repro.polyhedra.simplex import (
+    exact_entails,
+    exact_is_satisfiable,
+    exact_maximize,
+)
+
+X = sym("x")
+Y = sym("y")
+PX, PY = Polynomial.var(X), Polynomial.var(Y)
+
+
+def le(poly):
+    return LinearConstraint.le(poly)
+
+
+def eq(poly):
+    return LinearConstraint.eq(poly)
+
+
+class TestExactMaximize:
+    def test_bounded_optimum_is_exact(self):
+        # max x subject to 3x <= 1  =>  exactly 1/3
+        result = exact_maximize({X: Fraction(1)}, [le(3 * PX - 1)])
+        assert result.is_optimal
+        assert result.value == Fraction(1, 3)
+
+    def test_unbounded(self):
+        result = exact_maximize({X: Fraction(1)}, [le(-PX)])
+        assert result.is_unbounded
+
+    def test_infeasible(self):
+        result = exact_maximize({X: Fraction(1)}, [le(PX - 1), le(2 - PX)])
+        assert result.is_infeasible
+
+    def test_free_variables_both_signs(self):
+        # max -x subject to x >= -5  =>  5 (x can be negative)
+        result = exact_maximize({X: Fraction(-1)}, [le(-PX - 5)])
+        assert result.is_optimal
+        assert result.value == 5
+
+    def test_equality_constraints(self):
+        # max x + y subject to x + y = 2, x <= 1  =>  2
+        result = exact_maximize(
+            {X: Fraction(1), Y: Fraction(1)}, [eq(PX + PY - 2), le(PX - 1)]
+        )
+        assert result.is_optimal
+        assert result.value == 2
+
+    def test_two_dimensional_vertex(self):
+        # max x + y s.t. x <= 3, y <= 4  =>  7
+        result = exact_maximize(
+            {X: Fraction(1), Y: Fraction(1)}, [le(PX - 3), le(PY - 4)]
+        )
+        assert result.value == 7
+
+    def test_no_constraints_zero_objective(self):
+        assert exact_maximize({}, []).value == 0
+
+    def test_no_constraints_nonzero_objective(self):
+        assert exact_maximize({X: Fraction(1)}, []).is_unbounded
+
+    def test_degenerate_does_not_cycle(self):
+        # A classic degenerate system; Bland's rule must terminate.
+        constraints = [
+            le(PX - PY),
+            le(PY - PX),
+            le(PX + PY - 1),
+            le(-PX - PY),
+            le(PX - 1),
+            le(-PX),
+        ]
+        result = exact_maximize({X: Fraction(1)}, constraints)
+        assert result.is_optimal
+        assert result.value == Fraction(1, 2)
+
+
+class TestExactSatEntails:
+    def test_satisfiable(self):
+        assert exact_is_satisfiable([le(PX - 10), le(-PX)])
+
+    def test_unsatisfiable(self):
+        assert not exact_is_satisfiable([le(PX - 1), le(2 - PX)])
+
+    def test_entails_tight_large_constants(self):
+        big = 1073741824
+        assert exact_entails([le(PX - (big - 1))], le(PX - big))
+        assert not exact_entails([le(PX - big)], le(PX - (big - 1)))
+
+    def test_entails_equality_candidate(self):
+        assert exact_entails([eq(PX - PY)], eq(2 * PX - 2 * PY))
+        assert not exact_entails([le(PX - PY)], eq(PX - PY))
+
+    def test_entails_transitivity(self):
+        assert exact_entails([le(PX - PY), le(PY - 3)], le(PX - 3))
+
+    def test_infeasible_entails_everything(self):
+        assert exact_entails([le(PX - 1), le(2 - PX)], le(PX + 100))
