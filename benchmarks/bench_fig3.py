@@ -7,48 +7,29 @@ A bounded-unrolling baseline stands in for the unrolling-capable tools; the
 paper's per-tool proved counts are attached as extra info so the harness
 output carries the same series (see DESIGN.md for the substitution).
 
-By default only a representative subset runs (the full 17-benchmark sweep is
-enabled with ``REPRO_FULL_BENCH=1``).
+Selection and execution go through the batch-engine task protocol: the
+representative default subset and the ``REPRO_FULL_BENCH=1`` full sweep are
+the suite's ``slow`` flags, shared with ``repro bench --suite fig3``.
 """
 
 import pytest
 
-from conftest import FULL
+from conftest import FULL, run_entry
 
-from repro.baselines import check_assertions_by_unrolling
-from repro.benchlib import PAPER_FIG3_PROVED_COUNTS, SVCOMP_RECURSIVE_BENCHMARKS
-from repro.core import analyze_program, check_assertions
-from repro.lang import parse_program
+from repro.benchlib import PAPER_FIG3_PROVED_COUNTS
+from repro.benchlib.suites import iter_suite
 
-DEFAULT_SUBSET = [
-    "Fibonacci01",
-    "RecHanoi02",
-    "RecHanoi03",
-    "Sum02",
-    "Fibonacci02",
-]
-BY_NAME = {b.name: b for b in SVCOMP_RECURSIVE_BENCHMARKS}
-SELECTED = (
-    [b.name for b in SVCOMP_RECURSIVE_BENCHMARKS] if FULL else DEFAULT_SUBSET
-)
+SELECTED = [entry.name for entry in iter_suite("fig3", full=FULL)]
 
 
-def _chora(name: str) -> bool:
-    spec = BY_NAME[name]
-    result = analyze_program(parse_program(spec.source))
-    outcomes = check_assertions(result)
-    return bool(outcomes) and all(outcome.proved for outcome in outcomes)
-
-
-def _unrolling(name: str) -> bool:
-    spec = BY_NAME[name]
-    outcomes = check_assertions_by_unrolling(parse_program(spec.source), depth=12)
-    return bool(outcomes) and all(outcome.proved for outcome in outcomes)
+def _run(name: str, kind: str) -> bool:
+    params = {"depth": 12} if kind == "assertion-unrolling" else {}
+    return run_entry("fig3", name, kind, **params)["proved"]
 
 
 @pytest.mark.parametrize("name", SELECTED)
 def test_fig3_chora(benchmark, name):
-    verdict = benchmark.pedantic(_chora, args=(name,), rounds=1, iterations=1)
+    verdict = benchmark.pedantic(_run, args=(name, "assertion"), rounds=1, iterations=1)
     benchmark.extra_info["proved"] = verdict
     benchmark.extra_info["paper_counts"] = PAPER_FIG3_PROVED_COUNTS
     # Soundness regression: benchmarks flagged as not provable by this
@@ -58,7 +39,9 @@ def test_fig3_chora(benchmark, name):
 
 @pytest.mark.parametrize("name", ["Sum03", "recursive_loop"])
 def test_fig3_unrolling_baseline(benchmark, name):
-    verdict = benchmark.pedantic(_unrolling, args=(name,), rounds=1, iterations=1)
+    verdict = benchmark.pedantic(
+        _run, args=(name, "assertion-unrolling"), rounds=1, iterations=1
+    )
     benchmark.extra_info["proved"] = verdict
     # These concrete-input, linearly recursive tasks are exactly the
     # "provable by unrolling" kind the paper mentions.

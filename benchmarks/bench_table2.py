@@ -1,39 +1,39 @@
-"""Table 2: assertion checking on quad, pow2_overflow and height."""
+"""Table 2: assertion checking on quad, pow2_overflow and height.
+
+Selection and execution go through the batch-engine task protocol, so the
+rows are exactly what ``repro bench --suite table2`` runs; the unrolling
+baseline reuses the same tasks with the ``assertion-unrolling`` kind.
+"""
 
 import pytest
 
-from repro.baselines import analyze_program_icra, check_assertions_by_unrolling
-from repro.benchlib import TABLE2_BENCHMARKS, assertion_benchmark_by_name
-from repro.core import analyze_program, check_assertions
-from repro.lang import parse_program
+from conftest import run_entry
+
+from repro.benchlib.suites import iter_suite, suite_entry
+
+SELECTED = [entry.name for entry in iter_suite("table2")]
 
 
-def _chora_verdict(name: str) -> bool:
-    spec = assertion_benchmark_by_name(name)
-    result = analyze_program(parse_program(spec.source))
-    outcomes = check_assertions(result)
-    return bool(outcomes) and all(outcome.proved for outcome in outcomes)
+def _run(name: str, kind: str) -> bool:
+    params = {"depth": 6} if kind == "assertion-unrolling" else {}
+    return run_entry("table2", name, kind, **params)["proved"]
 
 
-def _unrolling_verdict(name: str) -> bool:
-    spec = assertion_benchmark_by_name(name)
-    outcomes = check_assertions_by_unrolling(parse_program(spec.source), depth=6)
-    return bool(outcomes) and all(outcome.proved for outcome in outcomes)
-
-
-@pytest.mark.parametrize("name", [b.name for b in TABLE2_BENCHMARKS])
+@pytest.mark.parametrize("name", SELECTED)
 def test_table2_chora(benchmark, name):
-    verdict = benchmark.pedantic(_chora_verdict, args=(name,), rounds=1, iterations=1)
+    verdict = benchmark.pedantic(_run, args=(name, "assertion"), rounds=1, iterations=1)
     benchmark.extra_info["proved"] = verdict
-    benchmark.extra_info["paper"] = dict(assertion_benchmark_by_name(name).paper_verdicts)
+    benchmark.extra_info["paper"] = dict(suite_entry("table2", name).paper["verdicts"])
     # The unbounded-recursion benchmarks cannot be proved by unrolling alone;
     # whether this reproduction proves them is recorded in EXPERIMENTS.md.
     assert verdict in (True, False)
 
 
-@pytest.mark.parametrize("name", [b.name for b in TABLE2_BENCHMARKS])
+@pytest.mark.parametrize("name", SELECTED)
 def test_table2_unrolling_baseline(benchmark, name):
-    verdict = benchmark.pedantic(_unrolling_verdict, args=(name,), rounds=1, iterations=1)
+    verdict = benchmark.pedantic(
+        _run, args=(name, "assertion-unrolling"), rounds=1, iterations=1
+    )
     benchmark.extra_info["proved"] = verdict
     # quad/height take symbolic arguments, so bounded unrolling cannot prove them.
     if name in ("quad", "height"):

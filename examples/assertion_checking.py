@@ -1,32 +1,42 @@
 """Regenerate Table 2: assertion checking on quad / pow2_overflow / height.
 
-Run with:  python examples/assertion_checking.py
+Run with:  python examples/assertion_checking.py [--jobs N]
+
+The three benchmarks run through the batch engine, concurrently and with
+on-disk result caching — the same path as ``repro bench --suite table2``.
 """
 
-import time
+import argparse
 
-from repro.benchlib import TABLE2_BENCHMARKS
-from repro.core import analyze_program, check_assertions
-from repro.lang import parse_program
+from repro.benchlib.suites import get_suite
+from repro.engine import BatchEngine, make_cache, suite_tasks
 from repro.reporting import format_table
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=3, help="worker processes")
+    parser.add_argument("--no-cache", action="store_true")
+    arguments = parser.parse_args()
+
+    engine = BatchEngine(
+        jobs=arguments.jobs, cache=make_cache(no_cache=arguments.no_cache)
+    )
+    results = engine.run(suite_tasks("table2"))
+
+    suite = get_suite("table2")
     rows = []
-    for benchmark in TABLE2_BENCHMARKS:
-        started = time.time()
-        try:
-            result = analyze_program(parse_program(benchmark.source))
-            outcomes = check_assertions(result)
-            proved = all(outcome.proved for outcome in outcomes) and bool(outcomes)
-            verdict = "proved" if proved else "unknown"
-        except Exception as error:  # pragma: no cover - defensive reporting
-            verdict = f"error: {type(error).__name__}"
-        elapsed = time.time() - started
+    for result in results:
+        if result.ok:
+            verdict = "proved" if result.proved else "unknown"
+        else:
+            verdict = f"error: {result.outcome}"
+        cached = ", cached" if result.cache_hit else ""
         paper = ", ".join(
-            f"{tool}:{'Y' if ok else 'N'}" for tool, ok in benchmark.paper_verdicts.items()
+            f"{tool}:{'Y' if ok else 'N'}"
+            for tool, ok in suite.entry(result.name).paper["verdicts"].items()
         )
-        rows.append([benchmark.name, f"{verdict} ({elapsed:.1f}s)", paper])
+        rows.append([result.name, f"{verdict} ({result.wall_time:.1f}s{cached})", paper])
     print(format_table(["benchmark", "CHORA (this repo)", "paper verdicts"], rows))
 
 

@@ -1,73 +1,65 @@
 """Regenerate Table 1: asymptotic complexity bounds on the benchmark suite.
 
-Run with:  python examples/complexity_table.py [--full]
+Run with:  python examples/complexity_table.py [--full] [--jobs N]
 
 Without ``--full`` only the benchmarks that analyse within a few seconds each
 are run; ``--full`` runs all twelve rows (the hardest ones take minutes in
 this pure-Python reproduction).  Each row shows the true bound, the bound
 found by this reproduction of CHORA, the bound found by the ICRA-style
 baseline, and the bounds the paper reports.
+
+The rows run through the batch engine (``repro.engine.BatchEngine``): CHORA
+and ICRA tasks execute concurrently in worker processes and results are
+cached on disk, so a re-run of an unchanged table is near-instant.
 """
 
-import sys
-import time
+import argparse
+import dataclasses
 
-from repro.baselines import analyze_program_icra
-from repro.benchlib import TABLE1_BENCHMARKS
-from repro.core import NO_BOUND, analyze_program, cost_bound
-from repro.lang import parse_program
+from repro.benchlib.suites import iter_suite
+from repro.engine import AnalysisTask, BatchEngine, make_cache
 from repro.reporting import format_table
-
-FAST_BENCHMARKS = {
-    "fibonacci",
-    "hanoi",
-    "subset_sum",
-    "bst_copy",
-    "ball_bins3",
-    "karatsuba",
-    "mergesort",
-    "qsort_calls",
-}
-
-
-def analyse_one(benchmark, analyzer):
-    program = parse_program(benchmark.source)
-    started = time.time()
-    try:
-        result = analyzer(program)
-        bound = cost_bound(
-            result,
-            benchmark.procedure,
-            benchmark.cost_variable,
-            substitutions=benchmark.substitutions,
-        )
-        text = bound.asymptotic
-    except Exception as error:  # pragma: no cover - defensive reporting
-        text = f"error: {type(error).__name__}"
-    return text, time.time() - started
 
 
 def main() -> None:
-    full = "--full" in sys.argv
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run all twelve rows")
+    parser.add_argument("--jobs", type=int, default=4, help="worker processes")
+    parser.add_argument("--no-cache", action="store_true")
+    arguments = parser.parse_args()
+
+    entries = iter_suite("table1", full=arguments.full)
+    chora_tasks = [AnalysisTask.from_entry(e, suite="table1") for e in entries]
+    icra_tasks = [
+        dataclasses.replace(task, kind="complexity-icra") for task in chora_tasks
+    ]
+    engine = BatchEngine(
+        jobs=arguments.jobs, cache=make_cache(no_cache=arguments.no_cache)
+    )
+    results = engine.run(chora_tasks + icra_tasks)
+    chora = {r.name: r for r in results[: len(chora_tasks)]}
+    icra = {r.name: r for r in results[len(chora_tasks):]}
+
     rows = []
-    for benchmark in TABLE1_BENCHMARKS:
-        if not full and benchmark.name not in FAST_BENCHMARKS:
+    for entry in iter_suite("table1", full=True):
+        if entry.name not in chora:
             rows.append(
-                [benchmark.name, benchmark.actual, "(skipped, use --full)", "-",
-                 benchmark.paper_chora, benchmark.paper_icra, benchmark.paper_other]
+                [entry.name, entry.paper["actual"], "(skipped, use --full)", "-",
+                 entry.paper["chora"], entry.paper["icra"], entry.paper["other"]]
             )
             continue
-        chora_bound, chora_time = analyse_one(benchmark, analyze_program)
-        icra_bound, _ = analyse_one(benchmark, analyze_program_icra)
+        first, second = chora[entry.name], icra[entry.name]
+        verdict = first.bound if first.ok else first.outcome
+        cached = ", cached" if first.cache_hit else ""
         rows.append(
             [
-                benchmark.name,
-                benchmark.actual,
-                f"{chora_bound} ({chora_time:.1f}s)",
-                icra_bound,
-                benchmark.paper_chora,
-                benchmark.paper_icra,
-                benchmark.paper_other,
+                entry.name,
+                entry.paper["actual"],
+                f"{verdict} ({first.wall_time:.1f}s{cached})",
+                second.bound if second.ok else second.outcome,
+                entry.paper["chora"],
+                entry.paper["icra"],
+                entry.paper["other"],
             ]
         )
     print(

@@ -1,49 +1,71 @@
 """Regenerate Figure 3: the SV-COMP recursive cactus plot.
 
-Run with:  python examples/svcomp_cactus.py [--limit N]
+Run with:  python examples/svcomp_cactus.py [--limit N] [--fast] [--jobs N]
 
 For each of the 17 recursive benchmarks the script runs this reproduction of
-CHORA and the bounded-unrolling baseline, builds the cactus series
-(cumulative time vs. number of benchmarks proved), and prints them next to
-the proved-counts the paper reports for CHORA, ICRA, Ultimate Automizer,
-UTaipan and VIAP (the external tools cannot be run offline; see DESIGN.md).
+CHORA and the bounded-unrolling baseline through the batch engine, builds
+the cactus series (cumulative time vs. number of benchmarks proved), and
+prints them next to the proved-counts the paper reports for CHORA, ICRA,
+Ultimate Automizer, UTaipan and VIAP (the external tools cannot be run
+offline; see DESIGN.md).
+
+Caching is disabled here: the per-benchmark wall times *are* the data.
 """
 
-import sys
-import time
+import argparse
+import dataclasses
 
-from repro.baselines import check_assertions_by_unrolling
-from repro.benchlib import PAPER_FIG3_PROVED_COUNTS, SVCOMP_RECURSIVE_BENCHMARKS
-from repro.core import analyze_program, check_assertions
-from repro.lang import parse_program
+from repro.benchlib import PAPER_FIG3_PROVED_COUNTS
+from repro.benchlib.suites import get_suite
+from repro.engine import AnalysisTask, BatchEngine
 from repro.reporting import build_series, render_csv, render_text
 
 
-def run_tool(name, checker, benchmarks):
-    results = []
-    for benchmark in benchmarks:
-        started = time.time()
-        try:
-            outcomes = checker(parse_program(benchmark.source))
-            proved = bool(outcomes) and all(outcome.proved for outcome in outcomes)
-        except Exception:
-            proved = False
-        results.append((proved, time.time() - started))
-    return build_series(name, results)
-
-
 def main() -> None:
-    limit = len(SVCOMP_RECURSIVE_BENCHMARKS)
-    if "--limit" in sys.argv:
-        limit = int(sys.argv[sys.argv.index("--limit") + 1])
-    benchmarks = SVCOMP_RECURSIVE_BENCHMARKS[:limit]
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--limit", type=int, default=None, help="first N benchmarks")
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="only the representative fast subset (see repro.benchlib.suites)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; >1 speeds the sweep up but distorts the "
+        "per-benchmark wall times the cactus series is made of",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-benchmark deadline in seconds, as a real tool run would use "
+        "(timed-out benchmarks count as not proved); 0 disables it",
+    )
+    arguments = parser.parse_args()
 
-    def chora_checker(program):
-        return check_assertions(analyze_program(program))
+    entries = get_suite("fig3").iter(full=not arguments.fast)
+    if arguments.limit is not None:
+        entries = entries[: arguments.limit]
+    chora_tasks = [AnalysisTask.from_entry(e, suite="fig3") for e in entries]
+    unroll_tasks = [
+        dataclasses.replace(task, kind="assertion-unrolling", params=(("depth", 12),))
+        for task in chora_tasks
+    ]
+    engine = BatchEngine(
+        jobs=arguments.jobs, timeout=arguments.timeout or None, cache=None
+    )
+    results = engine.run(chora_tasks + unroll_tasks)
+
+    def to_series(name, batch):
+        return build_series(
+            name, [(bool(r.proved) and r.ok, r.wall_time) for r in batch]
+        )
 
     series = [
-        run_tool("CHORA", chora_checker, benchmarks),
-        run_tool("unrolling", check_assertions_by_unrolling, benchmarks),
+        to_series("CHORA", results[: len(entries)]),
+        to_series("unrolling", results[len(entries):]),
     ]
     print(render_text(series))
     print()

@@ -1,0 +1,10 @@
+"""Back-compat shim: all metadata lives in pyproject.toml (PEP 621).
+
+Kept so ``python setup.py develop`` still works on environments whose
+setuptools lacks PEP 660 editable-wheel support (e.g. no ``wheel`` package);
+normal installs should use ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

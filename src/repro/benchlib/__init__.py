@@ -25,6 +25,15 @@ from .examples_suite import (
     MUTUAL_P1_P2,
     SUBSET_SUM_OVERVIEW,
 )
+from .suites import (
+    SUITES,
+    Suite,
+    SuiteEntry,
+    get_suite,
+    iter_suite,
+    suite_entry,
+    suite_names,
+)
 
 __all__ = [
     "ComplexityBenchmark",
@@ -40,4 +49,11 @@ __all__ = [
     "MISSING_BASE_P3_P4",
     "MUTUAL_P1_P2",
     "SUBSET_SUM_OVERVIEW",
+    "SUITES",
+    "Suite",
+    "SuiteEntry",
+    "get_suite",
+    "iter_suite",
+    "suite_entry",
+    "suite_names",
 ]

@@ -1,0 +1,295 @@
+"""The ``repro`` command line interface.
+
+::
+
+    repro analyze FILE [--procedure P] [--cost-variable V] [--sub k=v ...]
+    repro bench --suite table1|fig3|table2|all [--jobs N] [--full] [--json]
+    repro suites
+    repro cache stats|clear
+
+``analyze`` runs the full CHORA pipeline on one mini-language file and prints
+the procedure summaries, assertion verdicts and (when a procedure is named)
+the cost bound.  ``bench`` reproduces an evaluation artefact of the paper
+through the batch engine: programs run concurrently in worker processes,
+results are cached on disk, and a pathological program can at worst time out
+— never sink the batch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .benchlib.suites import SUITES, suite_names
+from .core import ChoraOptions
+from .engine import (
+    AnalysisTask,
+    BatchEngine,
+    BatchResult,
+    ResultCache,
+    default_cache_directory,
+    full_bench_enabled,
+    make_cache,
+    suite_tasks,
+    summarize_batch,
+)
+from .reporting import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CHORA reproduction: templates and recurrences, better together.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser(
+        "analyze", help="analyse one mini-language program file"
+    )
+    analyze.add_argument("file", type=Path, help="path to the program source")
+    analyze.add_argument(
+        "--procedure", help="procedure to extract a cost bound from"
+    )
+    analyze.add_argument(
+        "--cost-variable",
+        default="cost",
+        help="instrumented cost variable (default: cost)",
+    )
+    analyze.add_argument(
+        "--sub",
+        action="append",
+        default=[],
+        metavar="NAME=INT",
+        help="substitute a parameter in the bound (repeatable)",
+    )
+    _engine_arguments(analyze, jobs=False)
+
+    bench = commands.add_parser(
+        "bench", help="run one of the paper's benchmark suites through the engine"
+    )
+    bench.add_argument(
+        "--suite",
+        required=True,
+        choices=sorted(suite_names()) + ["all"],
+        help="which evaluation artefact to reproduce",
+    )
+    bench.add_argument(
+        "--full",
+        action="store_true",
+        help="include the slow rows (minutes each; default honours REPRO_FULL_BENCH)",
+    )
+    _engine_arguments(bench, jobs=True)
+
+    commands.add_parser("suites", help="list the benchmark suites")
+
+    cache = commands.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("--cache-dir", type=Path, default=None)
+
+    return parser
+
+
+def _engine_arguments(parser: argparse.ArgumentParser, jobs: bool) -> None:
+    if jobs:
+        parser.add_argument(
+            "--jobs",
+            "-j",
+            type=int,
+            default=1,
+            help="number of concurrent worker processes (default: 1)",
+        )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-program deadline; 0 disables it (default: none)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="result cache location (default: REPRO_CACHE_DIR or ~/.cache/repro-chora)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+
+def _make_engine(arguments: argparse.Namespace) -> BatchEngine:
+    return BatchEngine(
+        jobs=getattr(arguments, "jobs", 1),
+        timeout=arguments.timeout or None,
+        cache=make_cache(
+            no_cache=getattr(arguments, "no_cache", False),
+            directory=arguments.cache_dir,
+        ),
+        options=ChoraOptions(),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Sub-commands
+# ---------------------------------------------------------------------- #
+def _command_analyze(arguments: argparse.Namespace) -> int:
+    try:
+        source = arguments.file.read_text(encoding="utf-8")
+    except OSError as error:
+        print(f"repro: cannot read {arguments.file}: {error}", file=sys.stderr)
+        return 2
+    substitutions = []
+    for item in arguments.sub:
+        name, _, value = item.partition("=")
+        try:
+            substitutions.append((name, int(value)))
+        except ValueError:
+            print(f"repro: bad --sub {item!r} (expected NAME=INT)", file=sys.stderr)
+            return 2
+    task = AnalysisTask(
+        name=arguments.file.stem,
+        source=source,
+        kind="analyze",
+        procedure=arguments.procedure,
+        cost_variable=arguments.cost_variable,
+        substitutions=tuple(sorted(substitutions)),
+    )
+    engine = _make_engine(arguments)
+    result = engine.run([task])[0]
+    if arguments.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+    if not result.ok:
+        # The payload-level detail is a full traceback; the last line is the
+        # exception itself, which is what a user typo needs to see.
+        lines = [line for line in result.detail.splitlines() if line.strip()]
+        detail = lines[-1] if lines else result.detail
+        print(f"{result.outcome}: {detail}", file=sys.stderr)
+        return 1
+    payload = result.payload
+    for name, text in payload.get("summaries", {}).items():
+        print(f"=== {name} ===")
+        print(text)
+        print()
+    for outcome in payload.get("assertions", []):
+        status = "PROVED " if outcome["proved"] else "UNKNOWN"
+        print(f"{status} assert({outcome['text']}) in {outcome['procedure']}")
+    if payload.get("bound") is not None:
+        expression = payload.get("expression")
+        suffix = f"  [{expression}]" if expression else ""
+        print(f"cost bound for {arguments.procedure}: {payload['bound']}{suffix}")
+    cached = " (cached)" if result.cache_hit else ""
+    print(f"done in {result.wall_time:.2f}s{cached}")
+    return 0
+
+
+def _command_bench(arguments: argparse.Namespace) -> int:
+    full = arguments.full or full_bench_enabled()
+    tasks = suite_tasks(arguments.suite, full)
+    engine = _make_engine(arguments)
+
+    def progress(result: BatchResult) -> None:
+        if not arguments.json:
+            print(f"  {result.name}: {_verdict(result)}", flush=True)
+
+    results = engine.run(tasks, progress=progress)
+    totals = summarize_batch(results)
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "suite": arguments.suite,
+                    "jobs": arguments.jobs,
+                    "full": full,
+                    "results": [result.to_dict() for result in results],
+                    "totals": totals,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print()
+        print(
+            format_table(
+                ["benchmark", "suite", "kind", "outcome", "verdict", "time", "cache"],
+                [
+                    [
+                        result.name,
+                        result.suite or "-",
+                        result.kind,
+                        result.outcome,
+                        _verdict(result),
+                        f"{result.wall_time:.2f}s",
+                        "hit" if result.cache_hit else "-",
+                    ]
+                    for result in results
+                ],
+            )
+        )
+        print(
+            f"\n{totals['ok']}/{totals['total']} ok, {totals['proved']} proved, "
+            f"{totals['timeout']} timeout, {totals['error']} error, "
+            f"{totals['cache_hits']} cache hits, {totals['wall_time']:.2f}s total"
+        )
+    return 1 if totals["error"] else 0
+
+
+def _verdict(result: BatchResult) -> str:
+    if result.outcome != "ok":
+        return result.outcome
+    if result.bound is not None:
+        return result.bound
+    if result.proved is not None:
+        return "proved" if result.proved else "unknown"
+    return "ok"
+
+
+def _command_suites(arguments: argparse.Namespace) -> int:
+    rows = []
+    for suite in SUITES.values():
+        fast = len(suite.iter(False))
+        rows.append([suite.name, suite.title, fast, len(suite.entries)])
+    print(format_table(["suite", "title", "fast entries", "total"], rows))
+    return 0
+
+
+def _command_cache(arguments: argparse.Namespace) -> int:
+    cache = ResultCache(arguments.cache_dir or default_cache_directory())
+    if arguments.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    print(
+        f"{stats['entries']} entries, {stats['bytes']} bytes in {stats['directory']}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _command_analyze,
+    "bench": _command_bench,
+    "suites": _command_suites,
+    "cache": _command_cache,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[arguments.command](arguments)
+    except BrokenPipeError:
+        # Output piped into e.g. ``head``; not an analysis failure.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -11,8 +11,10 @@ analysis), recursive components go through height-based recurrence analysis
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Any, Mapping, Optional
 
 from ..abstraction import AbstractionOptions
 from ..analysis import ProcedureContext, summarize_procedure
@@ -42,6 +44,26 @@ class ChoraOptions:
     use_two_region: bool = True
     #: Apply the §4.5 missing-base-case transformation when needed.
     transform_missing_base: bool = True
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain, JSON-serializable view of the options (nested dataclasses
+        included) — the representation the batch engine's result cache keys on."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChoraOptions":
+        """Rebuild options from :meth:`to_dict` output."""
+        fields = dict(data)
+        abstraction = AbstractionOptions(**fields.pop("abstraction", {}))
+        return cls(abstraction=abstraction, **fields)
+
+    def fingerprint(self) -> str:
+        """A canonical string identifying this configuration.
+
+        Two option values have equal fingerprints iff they request the same
+        analysis, so the fingerprint is safe to use in cache keys.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
 
 @dataclass

@@ -1,0 +1,304 @@
+"""The batch engine: many analyses, worker processes, isolation, caching.
+
+Each task runs in its own worker process (forked where available, so the
+warm parent image — parsed modules, sympy caches — is shared for free).  The
+parent schedules up to ``jobs`` workers at a time and enforces a per-task
+deadline: a worker that overruns is terminated and recorded as ``timeout``,
+a worker that dies without reporting (hard crash, OOM kill) is recorded as
+``crash``, and an exception inside the analysis is recorded as ``error`` with
+its traceback — in every case the rest of the batch keeps running.
+
+Because each task executes in a process forked from the same parent state,
+results are bit-for-bit independent of scheduling: ``jobs=4`` produces the
+same outcomes as a serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from ..core import ChoraOptions
+from .cache import ResultCache
+from .tasks import AnalysisTask, execute_task
+
+__all__ = ["BatchEngine", "BatchResult", "summarize_batch"]
+
+#: Result outcomes, from best to worst.
+OUTCOMES = ("ok", "timeout", "error", "crash")
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """The structured record of one task's run."""
+
+    name: str
+    kind: str
+    outcome: str
+    wall_time: float
+    cache_hit: bool = False
+    suite: Optional[str] = None
+    #: shorthand columns extracted from the payload when present.
+    proved: Optional[bool] = None
+    bound: Optional[str] = None
+    #: error / timeout detail (empty on success).
+    detail: str = ""
+    payload: Mapping[str, Any] = field(default_factory=dict, hash=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "kind": self.kind,
+            "outcome": self.outcome,
+            "proved": self.proved,
+            "bound": self.bound,
+            "wall_time": round(self.wall_time, 4),
+            "cache_hit": self.cache_hit,
+            "detail": self.detail,
+            "payload": dict(self.payload),
+        }
+
+
+def _result_from_payload(
+    task: AnalysisTask, payload: dict, wall_time: float, cache_hit: bool
+) -> BatchResult:
+    return BatchResult(
+        name=task.name,
+        kind=task.kind,
+        outcome="ok",
+        wall_time=wall_time,
+        cache_hit=cache_hit,
+        suite=task.suite,
+        proved=payload.get("proved"),
+        bound=payload.get("bound"),
+        payload=payload,
+    )
+
+
+def _worker(task: AnalysisTask, options: ChoraOptions, connection) -> None:
+    """Entry point of one worker process: run the task, report once."""
+    try:
+        payload = execute_task(task, options)
+        connection.send(("ok", payload))
+    except BaseException:
+        connection.send(("error", traceback.format_exc(limit=20)))
+    finally:
+        connection.close()
+
+
+class _Running:
+    """Book-keeping for one in-flight worker."""
+
+    __slots__ = ("process", "connection", "task", "key", "started")
+
+    def __init__(self, process, connection, task, key, started):
+        self.process = process
+        self.connection = connection
+        self.task = task
+        self.key = key
+        self.started = started
+
+
+class BatchEngine:
+    """Analyse batches of programs concurrently, with caching and isolation.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum number of concurrently running worker processes.
+    timeout:
+        Per-task deadline in seconds (``None`` disables the deadline).
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching.
+    options:
+        The :class:`ChoraOptions` every task is analysed under.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        cache: Optional[ResultCache] = None,
+        options: ChoraOptions = ChoraOptions(),
+    ):
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.cache = cache
+        self.options = options
+        methods = multiprocessing.get_all_start_methods()
+        # Fork shares the parent's warm module state with every worker and
+        # keeps ad-hoc registered task kinds visible to them.
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        tasks: Sequence[AnalysisTask],
+        progress: Optional[Callable[[BatchResult], None]] = None,
+    ) -> list[BatchResult]:
+        """Run every task; results come back in task order."""
+        results: list[Optional[BatchResult]] = [None] * len(tasks)
+
+        def finish(index: int, result: BatchResult) -> None:
+            results[index] = result
+            if progress is not None:
+                progress(result)
+
+        queue: deque[tuple[int, AnalysisTask, Optional[str]]] = deque()
+        for index, task in enumerate(tasks):
+            key = self.cache.key(task, self.options) if self.cache else None
+            if key is not None:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    finish(index, _result_from_payload(task, payload, 0.0, True))
+                    continue
+            queue.append((index, task, key))
+
+        running: dict[int, _Running] = {}
+        try:
+            while queue or running:
+                while queue and len(running) < self.jobs:
+                    index, task, key = queue.popleft()
+                    running[index] = self._spawn(task, key)
+                self._reap(running, finish)
+        finally:
+            for state in running.values():
+                self._kill(state)
+        return [result for result in results if result is not None]
+
+    def run_suite(
+        self,
+        suite: str,
+        full: Optional[bool] = None,
+        progress: Optional[Callable[[BatchResult], None]] = None,
+    ) -> list[BatchResult]:
+        """Analyse one of the paper's benchmark suites (or ``"all"``)."""
+        from .suites import suite_tasks
+
+        return self.run(suite_tasks(suite, full), progress)
+
+    # ------------------------------------------------------------------ #
+    def _spawn(self, task: AnalysisTask, key: Optional[str]) -> _Running:
+        receiver, sender = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker, args=(task, self.options, sender), daemon=True
+        )
+        started = time.monotonic()
+        process.start()
+        sender.close()
+        return _Running(process, receiver, task, key, started)
+
+    def _reap(
+        self,
+        running: dict[int, _Running],
+        finish: Callable[[int, BatchResult], None],
+    ) -> None:
+        """Wait briefly for workers, then settle every finished/overdue one."""
+        connections = [state.connection for state in running.values()]
+        if connections:
+            multiprocessing.connection.wait(connections, timeout=0.05)
+        for index, state in list(running.items()):
+            elapsed = time.monotonic() - state.started
+            message = self._try_recv(state)
+            dead = not state.process.is_alive()
+            if message is None and dead:
+                # The worker may have sent its result between our poll and
+                # its exit — one final receive before declaring a crash.
+                message = self._try_recv(state)
+            if message is not None:
+                state.process.join()
+                state.connection.close()
+                del running[index]
+                status, body = message
+                if status == "ok":
+                    if state.key is not None and self.cache is not None:
+                        self.cache.put(state.key, body, task_name=state.task.name)
+                    finish(
+                        index, _result_from_payload(state.task, body, elapsed, False)
+                    )
+                else:
+                    finish(
+                        index,
+                        BatchResult(
+                            name=state.task.name,
+                            kind=state.task.kind,
+                            outcome="error",
+                            wall_time=elapsed,
+                            suite=state.task.suite,
+                            detail=str(body),
+                        ),
+                    )
+            elif dead:
+                state.process.join()
+                state.connection.close()
+                del running[index]
+                finish(
+                    index,
+                    BatchResult(
+                        name=state.task.name,
+                        kind=state.task.kind,
+                        outcome="crash",
+                        wall_time=elapsed,
+                        suite=state.task.suite,
+                        detail=f"worker exited with code {state.process.exitcode}"
+                        " without reporting a result",
+                    ),
+                )
+            elif self.timeout is not None and elapsed > self.timeout:
+                self._kill(state)
+                del running[index]
+                finish(
+                    index,
+                    BatchResult(
+                        name=state.task.name,
+                        kind=state.task.kind,
+                        outcome="timeout",
+                        wall_time=elapsed,
+                        suite=state.task.suite,
+                        detail=f"exceeded the {self.timeout:g}s deadline",
+                    ),
+                )
+
+    @staticmethod
+    def _try_recv(state: _Running):
+        if state.connection.poll():
+            try:
+                return state.connection.recv()
+            except (EOFError, OSError):
+                return None
+        return None
+
+    @staticmethod
+    def _kill(state: _Running) -> None:
+        if state.process.is_alive():
+            state.process.terminate()
+            state.process.join(5)
+            if state.process.is_alive():  # pragma: no cover - stubborn worker
+                state.process.kill()
+                state.process.join()
+        state.connection.close()
+
+
+def summarize_batch(results: Sequence[BatchResult]) -> dict[str, Any]:
+    """Aggregate counters for reports and CI logs."""
+    return {
+        "total": len(results),
+        "ok": sum(result.outcome == "ok" for result in results),
+        "proved": sum(bool(result.proved) for result in results),
+        "timeout": sum(result.outcome == "timeout" for result in results),
+        "error": sum(result.outcome in ("error", "crash") for result in results),
+        "cache_hits": sum(result.cache_hit for result in results),
+        "wall_time": round(sum(result.wall_time for result in results), 3),
+    }

@@ -1,0 +1,168 @@
+"""Content-addressed on-disk cache of analysis results.
+
+A cache entry is keyed by everything that determines the analysis output:
+the program source, the task's semantic fields (kind, procedure, cost
+variable, substitutions, extra parameters), the full
+:class:`~repro.core.chora.ChoraOptions` fingerprint, and the code version —
+a content hash of the installed ``repro`` sources, so editing a benchmark,
+flipping an ablation switch, or changing *any* analysis code (even without
+a version bump) each invalidates the affected entries.  Benchmark *names*
+are deliberately not part of the key: two suites sharing a program share its
+cached result.
+
+Entries are single JSON files named by the key's SHA-256 digest, written
+atomically (temp file + rename) so concurrent engines can share a cache
+directory safely.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from .. import __version__
+from ..core import ChoraOptions
+from .config import cache_enabled, default_cache_directory
+from .tasks import AnalysisTask
+
+__all__ = ["ResultCache", "make_cache", "CACHE_SCHEMA_VERSION"]
+
+#: Bump when the cached payload shape changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """A content hash of the installed ``repro`` package sources.
+
+    Computed once per process; keying cache entries on it means an edit to
+    any analysis module invalidates stale results even when the declared
+    package version does not change (the common case during development).
+    """
+    root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256(__version__.encode("utf-8"))
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            continue
+    return digest.hexdigest()
+
+
+def cache_key(task: AnalysisTask, options: ChoraOptions) -> str:
+    """The SHA-256 cache key of one (task, options) pair."""
+    material = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "code": code_fingerprint(),
+            "task": task.cache_material(),
+            "options": options.to_dict(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def make_cache(
+    no_cache: bool = False, directory: Optional[Path | str] = None
+) -> Optional["ResultCache"]:
+    """The cache implied by CLI-style switches (shared by CLI and examples).
+
+    ``no_cache`` wins over everything; an explicitly requested ``directory``
+    wins over the ``REPRO_NO_CACHE`` environment default; otherwise caching
+    is on at the default location unless the environment disables it.
+    """
+    if no_cache:
+        return None
+    if directory is not None:
+        return ResultCache(directory)
+    if not cache_enabled():
+        return None
+    return ResultCache(default_cache_directory())
+
+
+class ResultCache:
+    """A directory of content-addressed analysis payloads."""
+
+    def __init__(self, directory: Path | str):
+        self.directory = Path(directory)
+
+    def key(self, task: AnalysisTask, options: ChoraOptions) -> str:
+        return cache_key(task, options)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        """The cached payload for ``key``, or ``None`` on a miss."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: dict[str, Any], *, task_name: str = "") -> None:
+        """Store ``payload`` under ``key`` (atomic; failures are non-fatal)."""
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "code": __version__,
+            "task": task_name,
+            "payload": payload,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=".cache-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, sort_keys=True)
+                os.replace(temp_path, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except (OSError, TypeError, ValueError):
+            # A broken cache must never break the analysis run.
+            return
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict[str, Any]:
+        """Entry count and total size of the cache directory."""
+        entries = 0
+        size = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    size += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    pass
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "bytes": size,
+        }

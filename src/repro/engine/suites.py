@@ -1,0 +1,31 @@
+"""Build engine task batches from the paper's benchmark suites."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..benchlib.suites import SUITES, get_suite
+from .config import full_bench_enabled
+from .tasks import AnalysisTask
+
+__all__ = ["suite_tasks"]
+
+
+def suite_tasks(suite: str, full: Optional[bool] = None) -> list[AnalysisTask]:
+    """The tasks of one suite (or ``"all"``), respecting full-bench gating.
+
+    ``full=None`` defers to the ``REPRO_FULL_BENCH`` environment switch, so
+    the CLI, the bench scripts and the examples agree on what "the suite"
+    means by default.
+    """
+    if full is None:
+        full = full_bench_enabled()
+    names = list(SUITES) if suite == "all" else [suite]
+    tasks: list[AnalysisTask] = []
+    for name in names:
+        loaded = get_suite(name)
+        tasks.extend(
+            AnalysisTask.from_entry(entry, suite=loaded.name)
+            for entry in loaded.iter(full)
+        )
+    return tasks

@@ -7,6 +7,9 @@ from repro.benchlib.svcomp_suite import SVCOMP_RECURSIVE_BENCHMARKS
 from repro.core import analyze_program, check_assertions
 from repro.lang import parse_program
 
+# Each analysis here takes seconds; CI runs these as a separate parallel job.
+pytestmark = pytest.mark.slow
+
 
 def chora_proves(source: str) -> bool:
     result = analyze_program(parse_program(source))

@@ -1,0 +1,137 @@
+"""End-to-end tests of the ``repro`` CLI and the engine smoke path.
+
+The fast tests drive :func:`repro.cli.main` in-process; the slow test is the
+CI acceptance scenario — ``repro bench --suite table2 --jobs 2 --json`` runs
+every benchmark through worker processes, and an immediate re-run is served
+entirely from the result cache, measurably faster.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+TRIVIAL = "int main(int n) { assume(n >= 0); int r = n + 1; assert(r >= 1); return r; }"
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestFastCommands:
+    def test_suites_lists_the_three_artefacts(self, capsys):
+        code, out, _ = run_cli(capsys, "suites")
+        assert code == 0
+        for name in ("table1", "fig3", "table2"):
+            assert name in out
+
+    def test_analyze_text_output(self, capsys, tmp_path):
+        program = tmp_path / "toy.c"
+        program.write_text(TRIVIAL, encoding="utf-8")
+        code, out, _ = run_cli(
+            capsys, "analyze", str(program), "--cache-dir", str(tmp_path / "cache")
+        )
+        assert code == 0
+        assert "=== main ===" in out
+        assert "PROVED" in out
+
+    def test_analyze_json_and_cache_hit(self, capsys, tmp_path):
+        program = tmp_path / "toy.c"
+        program.write_text(TRIVIAL, encoding="utf-8")
+        cache_dir = str(tmp_path / "cache")
+        code, out, _ = run_cli(
+            capsys, "analyze", str(program), "--json", "--cache-dir", cache_dir
+        )
+        assert code == 0
+        first = json.loads(out)
+        assert first["outcome"] == "ok"
+        assert first["proved"] is True
+        assert first["cache_hit"] is False
+        code, out, _ = run_cli(
+            capsys, "analyze", str(program), "--json", "--cache-dir", cache_dir
+        )
+        second = json.loads(out)
+        assert second["cache_hit"] is True
+        assert second["payload"] == first["payload"]
+
+    def test_analyze_missing_file(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "analyze", str(tmp_path / "absent.c"))
+        assert code == 2
+        assert "cannot read" in err
+
+    def test_analyze_bad_substitution(self, capsys, tmp_path):
+        program = tmp_path / "toy.c"
+        program.write_text(TRIVIAL, encoding="utf-8")
+        code, _, err = run_cli(capsys, "analyze", str(program), "--sub", "n=x")
+        assert code == 2
+        assert "--sub" in err
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        code, out, _ = run_cli(capsys, "cache", "stats", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "0 entries" in out
+        code, out, _ = run_cli(capsys, "cache", "clear", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "removed 0" in out
+
+    def test_module_entry_point(self, tmp_path):
+        src = Path(__file__).resolve().parents[2] / "src"
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = str(src)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "suites"],
+            capture_output=True,
+            text=True,
+            env=environment,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "table2" in completed.stdout
+
+
+@pytest.mark.slow
+class TestBenchSmoke:
+    def test_table2_parallel_then_cached(self, capsys, tmp_path):
+        """The acceptance scenario: cold parallel batch, then all cache hits."""
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "bench", "--suite", "table2", "--jobs", "2", "--json",
+            "--cache-dir", cache_dir,
+        ]
+        started = time.monotonic()
+        code, out, _ = run_cli(capsys, *argv)
+        cold_elapsed = time.monotonic() - started
+        assert code == 0
+        cold = json.loads(out)
+        assert cold["totals"]["total"] == 3
+        assert cold["totals"]["ok"] == 3
+        assert cold["totals"]["cache_hits"] == 0
+        assert {result["name"] for result in cold["results"]} == {
+            "quad", "pow2_overflow", "height",
+        }
+        for result in cold["results"]:
+            assert result["outcome"] == "ok"
+            assert result["proved"] in (True, False)
+
+        started = time.monotonic()
+        code, out, _ = run_cli(capsys, *argv)
+        warm_elapsed = time.monotonic() - started
+        assert code == 0
+        warm = json.loads(out)
+        assert warm["totals"]["cache_hits"] == 3
+        assert [r["name"] for r in warm["results"]] == [
+            r["name"] for r in cold["results"]
+        ]
+        assert [r["proved"] for r in warm["results"]] == [
+            r["proved"] for r in cold["results"]
+        ]
+        # The warm run is served from the cache and must be much faster.
+        assert warm_elapsed < cold_elapsed / 2

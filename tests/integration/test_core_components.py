@@ -18,6 +18,9 @@ from repro.core import (
 )
 from repro.lang import parse_program
 
+# Each analysis here takes seconds; CI runs these as a separate parallel job.
+pytestmark = pytest.mark.slow
+
 
 def _scc_setup(source, names):
     program = parse_program(source)

@@ -13,6 +13,9 @@ from repro.benchlib import benchmark_by_name
 from repro.core import analyze_program, cost_bound
 from repro.lang import Interpreter, parse_program
 
+# Each analysis here takes seconds; CI runs these as a separate parallel job.
+pytestmark = pytest.mark.slow
+
 
 def analyse(name):
     spec = benchmark_by_name(name)
