@@ -13,6 +13,7 @@ from .symbolic_abstraction import (
     Inequation,
     abstract,
     abstract_cubes,
+    abstract_many,
     formula_entails,
     is_formula_satisfiable,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "Inequation",
     "abstract",
     "abstract_cubes",
+    "abstract_many",
     "formula_entails",
     "is_formula_satisfiable",
 ]

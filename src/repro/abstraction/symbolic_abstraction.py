@@ -29,6 +29,7 @@ from ..polyhedra import (
     Polyhedron,
     convex_hull,
 )
+from ..polyhedra.cache import register_cache
 from ..polyhedra.hull import weak_join
 from .linearize import LinearizationContext, inference_constraints
 
@@ -36,11 +37,23 @@ __all__ = [
     "Inequation",
     "AbstractionResult",
     "abstract",
+    "abstract_many",
     "abstract_cubes",
     "is_formula_satisfiable",
     "formula_entails",
     "AbstractionOptions",
 ]
+
+#: ``abstract`` is pure in (formula, symbols, options) and the analyses ask
+#: for the same abstractions repeatedly (every candidate ranking re-abstracts
+#: the same base-case summaries, the height analysis re-abstracts the same
+#: extension formula); the memo table turns those repeats into lookups.
+_ABSTRACT_CACHE = register_cache("abstraction.abstract")
+
+#: Entailment checks re-ask satisfiability of the same hypothesis/conclusion
+#: conjunctions (descent analysis tries several descent shapes per candidate
+#: ranking against the same transformations).
+_SATISFIABLE_CACHE = register_cache("abstraction.satisfiable")
 
 
 @dataclass(frozen=True)
@@ -142,18 +155,59 @@ def abstract(
     monomials over those symbols may appear (they correspond to retained
     dimensions).
     """
-    keep = frozenset(symbols)
-    cube_polyhedra, context = abstract_cubes(formula, options)
+    return abstract_many(formula, [symbols], options)[0]
+
+
+def abstract_many(
+    formula: Formula,
+    symbol_sets: Sequence[Iterable[Symbol]],
+    options: AbstractionOptions = AbstractionOptions(),
+) -> list[AbstractionResult]:
+    """``Abstract(formula, V)`` for several ``V`` over one cube enumeration.
+
+    Enumerating and linearizing the DNF cubes (and discharging their
+    satisfiability checks) is independent of the projection target, so
+    callers that abstract one formula onto several symbol sets — the height
+    analysis projects the same extension formula once per bounding symbol —
+    share that work here instead of repeating it per set.
+    """
+    keeps = [frozenset(symbols) for symbols in symbol_sets]
+    missing = any(
+        not _ABSTRACT_CACHE.contains((formula, keep, options)) for keep in keeps
+    )
+    cube_polyhedra = context = None
+    if missing:
+        cube_polyhedra, context = abstract_cubes(formula, options)
+    results = []
+    for keep in keeps:
+        results.append(
+            _ABSTRACT_CACHE.lookup(
+                (formula, keep, options),
+                lambda: _abstract_projection(cube_polyhedra, context, keep, options),
+            )
+        )
+    return [
+        AbstractionResult(list(r.inequations), r.polyhedron, r.context)
+        for r in results
+    ]
+
+
+def _abstract_projection(
+    cube_polyhedra: Sequence[tuple[Cube, Polyhedron]],
+    context: LinearizationContext,
+    keep: frozenset[Symbol],
+    options: AbstractionOptions,
+) -> AbstractionResult:
     if not cube_polyhedra:
         # The formula is unsatisfiable: it implies everything; report the
         # canonical contradiction so callers can detect it.
         return AbstractionResult(
             [Inequation(Polynomial.constant(1))], Polyhedron.empty(), context
         )
-    projected: list[Polyhedron] = []
-    for cube, polyhedron in cube_polyhedra:
-        keep_dims = frozenset(keep) | frozenset(context.dimensions_over(keep))
-        projected.append(polyhedron.project_onto(keep_dims))
+    keep_dims = keep | frozenset(context.dimensions_over(keep))
+    projected = [
+        polyhedron.project_onto(keep_dims) for _, polyhedron in cube_polyhedra
+    ]
     if options.exact_hull:
         joined = convex_hull(projected)
     else:
@@ -184,8 +238,10 @@ def is_formula_satisfiable(
     direction for assertion checking: we only claim an assertion proved when
     its negation is *unsatisfiable*).
     """
-    cube_polyhedra, _ = abstract_cubes(formula, options)
-    return bool(cube_polyhedra)
+    return _SATISFIABLE_CACHE.lookup(
+        (formula, options),
+        lambda: bool(abstract_cubes(formula, options)[0]),
+    )
 
 
 def formula_entails(

@@ -3,7 +3,9 @@
 ::
 
     repro analyze FILE [--procedure P] [--cost-variable V] [--sub k=v ...]
-    repro bench --suite table1|fig3|table2|all [--jobs N] [--full] [--json]
+    repro bench --suite table1|fig3|table2|all [--tool chora|icra|unrolling]
+                [--depth N] [--jobs N] [--full] [--json]
+    repro profile [--suite NAME|all] [--micro] [--check] [--threshold PCT]
     repro suites
     repro cache stats|clear
 
@@ -12,7 +14,11 @@ the procedure summaries, assertion verdicts and (when a procedure is named)
 the cost bound.  ``bench`` reproduces an evaluation artefact of the paper
 through the batch engine: programs run concurrently in worker processes,
 results are cached on disk, and a pathological program can at worst time out
-— never sink the batch.
+— never sink the batch; ``--tool`` swaps in one of the paper's comparison
+baselines.  ``profile`` records cold suite timings and hull/projection
+micro-benchmark timings into the append-only ``benchmarks/perf/BENCH_*.json``
+history and, with ``--check``, fails on perf regressions or verdict changes
+versus the previous entry.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .benchlib.suites import SUITES, suite_names
+from .engine.suites import TOOLS
 from .core import ChoraOptions
 from .engine import (
     AnalysisTask,
@@ -83,7 +90,74 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include the slow rows (minutes each; default honours REPRO_FULL_BENCH)",
     )
+    bench.add_argument(
+        "--tool",
+        choices=sorted(TOOLS),
+        default="chora",
+        help="analyser to run the suite with: chora (native) or one of the"
+        " paper's comparison baselines (default: chora)",
+    )
+    bench.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="unrolling depth for --tool unrolling (default: the unroller's)",
+    )
     _engine_arguments(bench, jobs=True)
+
+    profile = commands.add_parser(
+        "profile",
+        help="record perf timings into BENCH_*.json and check for regressions",
+    )
+    profile.add_argument(
+        "--suite",
+        choices=sorted(suite_names()) + ["all"],
+        default=None,
+        help="time one suite cold (uncached) through the engine",
+    )
+    profile.add_argument(
+        "--micro",
+        action="store_true",
+        help="time the hull/projection micro-benchmarks",
+    )
+    profile.add_argument(
+        "--label", default="", help="free-form label recorded with the entry"
+    )
+    profile.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="micro-benchmark repetitions (best-of; default: 3)",
+    )
+    profile.add_argument(
+        "--jobs", "-j", type=int, default=1, help="worker processes for suite runs"
+    )
+    profile.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when timings regress beyond the threshold (or verdicts change)"
+        " versus the last recorded entry",
+    )
+    profile.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PERCENT",
+        help="allowed slow-down before --check fails (default: 25%%)",
+    )
+    profile.add_argument(
+        "--perf-dir",
+        type=Path,
+        default=None,
+        help="where BENCH_*.json files live (default: benchmarks/perf)",
+    )
+    profile.add_argument(
+        "--full", action="store_true", help="include the slow suite rows"
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="emit the recorded entries as JSON"
+    )
 
     commands.add_parser("suites", help="list the benchmark suites")
 
@@ -192,7 +266,13 @@ def _command_analyze(arguments: argparse.Namespace) -> int:
 
 def _command_bench(arguments: argparse.Namespace) -> int:
     full = arguments.full or full_bench_enabled()
-    tasks = suite_tasks(arguments.suite, full)
+    try:
+        tasks = suite_tasks(
+            arguments.suite, full, tool=arguments.tool, depth=arguments.depth
+        )
+    except ValueError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
     engine = _make_engine(arguments)
 
     def progress(result: BatchResult) -> None:
@@ -206,6 +286,7 @@ def _command_bench(arguments: argparse.Namespace) -> int:
             json.dumps(
                 {
                     "suite": arguments.suite,
+                    "tool": arguments.tool,
                     "jobs": arguments.jobs,
                     "full": full,
                     "results": [result.to_dict() for result in results],
@@ -252,6 +333,105 @@ def _verdict(result: BatchResult) -> str:
     return "ok"
 
 
+def _command_profile(arguments: argparse.Namespace) -> int:
+    from .engine import profile as perf
+
+    if not arguments.micro and not arguments.suite:
+        print("repro profile: pass --suite NAME and/or --micro", file=sys.stderr)
+        return 2
+    directory = arguments.perf_dir or perf.DEFAULT_PERF_DIR
+    threshold = arguments.threshold / 100.0
+    recorded: list[dict] = []
+    failures: list[str] = []
+
+    def record(name: str, entry: dict) -> None:
+        path = perf.bench_path(directory, name)
+        baseline = perf.latest_entry(perf.load_entries(path))
+        perf.append_entry(path, entry)
+        recorded.append(entry)
+        if not arguments.json:
+            print(f"== {name} -> {path}")
+            print(
+                format_table(
+                    ["row", "seconds", "baseline", "ratio"],
+                    [
+                        [
+                            row["name"],
+                            f"{row['seconds']:.4f}",
+                            _baseline_cell(baseline, row["name"]),
+                            _ratio_cell(baseline, row),
+                        ]
+                        for row in entry["rows"]
+                    ],
+                )
+            )
+        if arguments.check and baseline is not None:
+            for regression in perf.compare_entries(baseline, entry, threshold):
+                failures.append(f"{name}: {regression}")
+            failures.extend(
+                f"{name}: {change}" for change in _verdict_changes(baseline, entry)
+            )
+
+    if arguments.micro:
+        record("micro", perf.micro_entry(arguments.label, arguments.repeats))
+    if arguments.suite:
+        names = (
+            sorted(suite_names()) if arguments.suite == "all" else [arguments.suite]
+        )
+        for name in names:
+            tasks = suite_tasks(name, arguments.full or full_bench_enabled())
+            engine = BatchEngine(
+                jobs=arguments.jobs, cache=None, options=ChoraOptions()
+            )
+            results = engine.run(tasks)
+            record(
+                name,
+                perf.suite_entry_record(
+                    name, results, arguments.label, arguments.jobs
+                ),
+            )
+    if arguments.json:
+        print(json.dumps({"entries": recorded}, indent=2, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _baseline_cell(baseline: Optional[dict], name: str) -> str:
+    if baseline is None:
+        return "-"
+    for row in baseline.get("rows", []):
+        if row["name"] == name:
+            return f"{row['seconds']:.4f}"
+    return "-"
+
+
+def _ratio_cell(baseline: Optional[dict], row: dict) -> str:
+    cell = _baseline_cell(baseline, row["name"])
+    if cell == "-" or float(cell) == 0.0:
+        return "-"
+    return f"{row['seconds'] / float(cell):.2f}x"
+
+
+def _verdict_changes(baseline: dict, entry: dict) -> list[str]:
+    """Analysis-verdict differences between two suite entries (must be none)."""
+    if entry.get("kind") != "suite":
+        return []
+    reference = {
+        row["name"]: (row.get("outcome"), row.get("proved"), row.get("bound"))
+        for row in baseline.get("rows", [])
+    }
+    changes = []
+    for row in entry.get("rows", []):
+        expected = reference.get(row["name"])
+        found = (row.get("outcome"), row.get("proved"), row.get("bound"))
+        if expected is not None and expected != found:
+            changes.append(f"{row['name']}: verdict changed {expected} -> {found}")
+    return changes
+
+
 def _command_suites(arguments: argparse.Namespace) -> int:
     rows = []
     for suite in SUITES.values():
@@ -277,6 +457,7 @@ def _command_cache(arguments: argparse.Namespace) -> int:
 _COMMANDS = {
     "analyze": _command_analyze,
     "bench": _command_bench,
+    "profile": _command_profile,
     "suites": _command_suites,
     "cache": _command_cache,
 }

@@ -205,6 +205,14 @@ def descent_depth_bound(
     if not common:
         return None
 
+    # The base-case formulas are candidate-independent; build them once here
+    # instead of once per candidate ranking inside every minimum/exact-value
+    # query (their transition formulas are large after composition).
+    base_formulas = [
+        (name, summary.to_formula(contexts[name].summary_variables))
+        for name, summary in base_summaries.items()
+        if not summary.is_bottom
+    ]
     best: Optional[DescentWitness] = None
     for candidate in _candidate_rankings(sorted(common)):
         pre_value = candidate
@@ -213,7 +221,7 @@ def descent_depth_bound(
         )
         witness = _check_candidate(
             candidate, pre_value, post_value, transformations, recursive_guards,
-            base_summaries, contexts, options,
+            base_formulas, options,
         )
         if witness is None:
             continue
@@ -233,12 +241,11 @@ def _check_candidate(
     post_value: Polynomial,
     transformations: Sequence[Formula],
     recursive_guards: Sequence[Formula],
-    base_summaries: Mapping[str, TransitionFormula],
-    contexts: Mapping[str, ProcedureContext],
+    base_formulas: Sequence[tuple[str, Formula]],
     options: AbstractionOptions,
 ) -> Optional[DescentWitness]:
     guard_minimum = _minimum_over_guards(pre_value, recursive_guards, options)
-    base_minimum = _minimum_base_value(candidate, base_summaries, contexts, options)
+    base_minimum = _minimum_base_value(candidate, base_formulas, options)
     # The relational semantics only contains terminating executions; a
     # terminating descent can never drop below the base region's minimum (the
     # ranking expression only decreases along a call chain, so undershooting
@@ -271,7 +278,7 @@ def _check_candidate(
             formula_entails(t, atom_eq(post_value, pre_value - 1), options)
             for t in transformations
         )
-        base_value = _exact_base_value(candidate, base_summaries, contexts, options)
+        base_value = _exact_base_value(candidate, base_formulas, options)
         return DescentWitness(
             candidate,
             DescentKind.ARITHMETIC,
@@ -285,21 +292,13 @@ def _check_candidate(
 
 def _minimum_base_value(
     expression: Polynomial,
-    base_summaries: Mapping[str, TransitionFormula],
-    contexts: Mapping[str, ProcedureContext],
+    base_formulas: Sequence[tuple[str, Formula]],
     options: AbstractionOptions,
 ) -> Optional[Fraction]:
     """The minimum of ``expression`` over the base-case regions, if finite."""
     minimum: Optional[Fraction] = None
-    for name, summary in base_summaries.items():
-        if summary.is_bottom:
-            continue
-        context = contexts[name]
-        abstraction = abstract(
-            summary.to_formula(context.summary_variables),
-            list(expression.symbols),
-            options,
-        )
+    for name, formula in base_formulas:
+        abstraction = abstract(formula, list(expression.symbols), options)
         if abstraction.polyhedron.is_empty():
             continue
         linearized = abstraction.context.linearize_polynomial(expression)
@@ -340,21 +339,13 @@ def _minimum_over_guards(
 
 def _exact_base_value(
     expression: Polynomial,
-    base_summaries: Mapping[str, TransitionFormula],
-    contexts: Mapping[str, ProcedureContext],
+    base_formulas: Sequence[tuple[str, Formula]],
     options: AbstractionOptions,
 ) -> Optional[Fraction]:
     """The constant value of ``expression`` in every base-case region, if any."""
     value: Optional[Fraction] = None
-    for name, summary in base_summaries.items():
-        if summary.is_bottom:
-            continue
-        context = contexts[name]
-        abstraction = abstract(
-            summary.to_formula(context.summary_variables),
-            list(expression.symbols),
-            options,
-        )
+    for name, formula in base_formulas:
+        abstraction = abstract(formula, list(expression.symbols), options)
         if abstraction.polyhedron.is_empty():
             continue
         linearized = abstraction.context.linearize_polynomial(expression) - expression.constant_value

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
-from ..abstraction import AbstractionOptions, Inequation, abstract
+from ..abstraction import AbstractionOptions, Inequation, abstract, abstract_many
 from ..analysis import ProcedureContext, summarize_procedure
 from ..formulas import (
     RETURN_VARIABLE,
@@ -226,9 +226,13 @@ def run_height_analysis(
                 for bound in bounds
             ]
         )
-        for bound in bounds:
-            keep = list(all_height_symbols) + [bound.at_h_plus_1]
-            extension_abstraction = abstract(extension, keep, options)
+        # One keep set per bounding symbol, but a single cube enumeration of
+        # the (large) extension formula shared across all of them.
+        keep_sets = [
+            list(all_height_symbols) + [bound.at_h_plus_1] for bound in bounds
+        ]
+        abstractions = abstract_many(extension, keep_sets, options)
+        for bound, extension_abstraction in zip(bounds, abstractions):
             for inequation in extension_abstraction:
                 if bound.at_h_plus_1 in inequation.polynomial.symbols:
                     analysis.candidate_inequations.append(inequation)

@@ -2,30 +2,64 @@
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from ..benchlib.suites import SUITES, get_suite
 from .config import full_bench_enabled
 from .tasks import AnalysisTask
 
-__all__ = ["suite_tasks"]
+__all__ = ["suite_tasks", "TOOLS"]
+
+#: Tool name -> mapping from an entry's native kind to the kind to run.
+#: ``chora`` runs every suite natively; the baselines substitute their task
+#: kind where they apply (bounded unrolling has no complexity-bound mode).
+TOOLS: dict[str, dict[str, str]] = {
+    "chora": {"complexity": "complexity", "assertion": "assertion"},
+    "icra": {"complexity": "complexity-icra", "assertion": "assertion-icra"},
+    "unrolling": {"assertion": "assertion-unrolling"},
+}
 
 
-def suite_tasks(suite: str, full: Optional[bool] = None) -> list[AnalysisTask]:
+def suite_tasks(
+    suite: str,
+    full: Optional[bool] = None,
+    tool: str = "chora",
+    depth: Optional[int] = None,
+) -> list[AnalysisTask]:
     """The tasks of one suite (or ``"all"``), respecting full-bench gating.
 
     ``full=None`` defers to the ``REPRO_FULL_BENCH`` environment switch, so
     the CLI, the bench scripts and the examples agree on what "the suite"
-    means by default.
+    means by default.  ``tool`` selects the analyser (CHORA or one of the
+    paper's comparison baselines); ``depth`` sets the unrolling depth for
+    the ``unrolling`` tool.  A ``ValueError`` is raised when the tool has no
+    mode for one of the suite's entries (e.g. unrolling on Table 1).
     """
     if full is None:
         full = full_bench_enabled()
+    try:
+        kind_map = TOOLS[tool]
+    except KeyError:
+        known = ", ".join(sorted(TOOLS))
+        raise ValueError(f"unknown tool {tool!r} (known: {known})") from None
+    if depth is not None and tool != "unrolling":
+        raise ValueError("--depth only applies to --tool unrolling")
     names = list(SUITES) if suite == "all" else [suite]
     tasks: list[AnalysisTask] = []
     for name in names:
         loaded = get_suite(name)
-        tasks.extend(
-            AnalysisTask.from_entry(entry, suite=loaded.name)
-            for entry in loaded.iter(full)
-        )
+        for entry in loaded.iter(full):
+            kind = kind_map.get(entry.kind)
+            if kind is None:
+                raise ValueError(
+                    f"tool {tool!r} has no mode for {entry.kind!r} entries "
+                    f"(suite {loaded.name!r}, benchmark {entry.name!r})"
+                )
+            task = AnalysisTask.from_entry(entry, suite=loaded.name)
+            if kind != entry.kind:
+                task = dataclasses.replace(task, kind=kind)
+            if kind == "assertion-unrolling" and depth is not None:
+                task = dataclasses.replace(task, params=(("depth", int(depth)),))
+            tasks.append(task)
     return tasks

@@ -125,11 +125,17 @@ def execute_task(task: AnalysisTask, options: ChoraOptions = ChoraOptions()) -> 
     gives the serial, in-process behaviour (used by the pytest-benchmark
     harness, where timing must not include process bookkeeping).
     """
+    from ..polyhedra.cache import clear_caches
+
     try:
         runner = _KIND_RUNNERS[task.kind]
     except KeyError:
         known = ", ".join(registered_kinds())
         raise ValueError(f"unknown task kind {task.kind!r} (known: {known})") from None
+    # Start from cold memo tables so a task's result is independent of what
+    # ran before it in this process — the same guarantee forked batch
+    # workers get — and so long batches cannot accumulate unbounded tables.
+    clear_caches()
     return runner(task, options)
 
 
@@ -179,6 +185,12 @@ def _run_complexity_icra(task: AnalysisTask, options: ChoraOptions) -> dict:
 @register_kind("assertion")
 def _run_assertion(task: AnalysisTask, options: ChoraOptions) -> dict:
     result = analyze_program(parse_program(task.source), options)
+    return _assertion_payload(check_assertions(result, options.abstraction))
+
+
+@register_kind("assertion-icra")
+def _run_assertion_icra(task: AnalysisTask, options: ChoraOptions) -> dict:
+    result = analyze_program_icra(parse_program(task.source), options)
     return _assertion_payload(check_assertions(result, options.abstraction))
 
 

@@ -85,6 +85,13 @@ def _dnf(formula: Formula, limit: int) -> list[Cube]:
         return []
     if isinstance(formula, Atom):
         return [Cube((formula,))]
+    convex = _conjunctive_cube(formula)
+    if convex is not None:
+        # Or-free formulas are already one convex cube: skip the whole
+        # distribute-and-conjoin machinery (which builds a quadratic chain
+        # of intermediate cubes for the deeply nested conjunctions that
+        # transition-formula composition produces).
+        return [convex]
     if isinstance(formula, Exists):
         inner = _dnf(formula.body, limit)
         return [cube.with_bound(formula.symbols) for cube in inner]
@@ -109,6 +116,32 @@ def _dnf(formula: Formula, limit: int) -> list[Cube]:
                 product = [_collapse_cubes(product)]
         return product
     raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _conjunctive_cube(formula: Formula) -> Cube | None:
+    """The single cube of an Or-free formula, or ``None`` if it has an Or.
+
+    ``false`` anywhere in the conjunction makes the whole formula false,
+    which has no cube either — callers fall through to the general case,
+    whose And handler prunes it the same way.
+    """
+    atoms: list[Atom] = []
+    bound: set[Symbol] = set()
+    stack: list[Formula] = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Atom):
+            atoms.append(node)
+        elif isinstance(node, And):
+            stack.extend(reversed(node.children))
+        elif isinstance(node, Exists):
+            bound.update(node.symbols)
+            stack.append(node.body)
+        elif isinstance(node, TrueFormula):
+            continue
+        else:
+            return None
+    return Cube(tuple(atoms), frozenset(bound))
 
 
 def _collapse(formula: Or, limit: int) -> list[Cube]:

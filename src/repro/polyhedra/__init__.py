@@ -4,8 +4,14 @@ This package implements the machinery behind the paper's ``Abstract`` /
 convex-hull procedure (Alg. 1): linear constraints with exact rational
 coefficients, satisfiability/entailment/optimization via LP, Fourier–Motzkin
 projection, and the polyhedral join (closed convex hull of unions).
+
+The hot queries — projection, LP satisfiability/entailment, constraint-set
+minimization — are memoized in process-local tables keyed on canonicalised
+constraint systems (:mod:`repro.polyhedra.cache`); ``clear_caches`` resets
+them and ``cache_stats`` reports their hit rates.
 """
 
+from .cache import cache_stats, clear_caches
 from .constraint import ConstraintKind, LinearConstraint, constraint_from_atom
 from .fourier_motzkin import eliminate, minimize_constraints
 from .hull import convex_hull, convex_hull_pair, weak_join
@@ -16,6 +22,8 @@ __all__ = [
     "ConstraintKind",
     "LinearConstraint",
     "constraint_from_atom",
+    "cache_stats",
+    "clear_caches",
     "eliminate",
     "minimize_constraints",
     "convex_hull",

@@ -20,6 +20,8 @@ from ..formulas.symbols import Symbol
 
 __all__ = ["ConstraintKind", "LinearConstraint", "constraint_from_atom"]
 
+_ZERO = Fraction(0)
+
 
 class ConstraintKind(enum.Enum):
     """Relation of a linear constraint to zero."""
@@ -93,10 +95,16 @@ class LinearConstraint:
         return self.constant != 0
 
     def coefficient(self, symbol: Symbol) -> Fraction:
-        for s, c in self.coeffs:
-            if s == symbol:
-                return c
-        return Fraction(0)
+        # Hot query (the projection and simplex layers call it per symbol
+        # per constraint); a lazily built lookup table replaces the linear
+        # scan.  ``object.__setattr__`` sidesteps the frozen-dataclass guard
+        # for what is a pure cache of the ``coeffs`` field.
+        try:
+            table = self._coefficient_table
+        except AttributeError:
+            table = dict(self.coeffs)
+            object.__setattr__(self, "_coefficient_table", table)
+        return table.get(symbol, _ZERO)
 
     # ------------------------------------------------------------------ #
     # Algebra

@@ -22,6 +22,7 @@ from fractions import Fraction
 from typing import Iterable, Sequence
 
 from ..formulas.symbols import Symbol
+from . import cache as memo
 from .constraint import ConstraintKind, LinearConstraint
 from . import lp
 
@@ -35,6 +36,13 @@ MINIMIZE_THRESHOLD = 120
 #: that mention the symbol (a sound over-approximation of the projection).
 BLOWUP_LIMIT = 600
 
+#: Memo tables keyed on canonicalised systems: identical projections recur
+#: constantly (the hull re-eliminates equal lifted systems whenever a join
+#: is revisited, and fresh-symbol indices never hit a key twice without the
+#: canonical renaming).
+_PROJECTION_CACHE = memo.register_cache("fm.eliminate")
+_MINIMIZE_CACHE = memo.register_cache("fm.minimize")
+
 
 def eliminate(
     constraints: Sequence[LinearConstraint],
@@ -47,11 +55,37 @@ def eliminate(
     the projection (or, if the blow-up cap was hit, a sound over-approximation
     of it).  Contradictory systems are returned as a single ``1 <= 0``
     constraint so callers can detect emptiness syntactically.
+
+    The computation is memoized on the canonicalised (renamed, sorted)
+    system, so both the cached and the uncached path run the elimination on
+    the canonical form: hits and misses return identical constraint lists.
     """
     current = _clean([c for c in constraints])
     if current is None:
         return [_contradiction()]
-    remaining = [s for s in dict.fromkeys(symbols)]
+    targets = [
+        s
+        for s in dict.fromkeys(symbols)
+        if any(c.coefficient(s) != 0 for c in current)
+    ]
+    if not targets:
+        return current
+    canonical, extras, _, inverse = memo.canonical_system(current, targets)
+    key = (canonical, extras, minimize_threshold)
+    projected = _PROJECTION_CACHE.lookup(
+        key,
+        lambda: tuple(
+            _eliminate_core(list(canonical), list(extras), minimize_threshold)
+        ),
+    )
+    return [c.rename(inverse) for c in projected]
+
+
+def _eliminate_core(
+    current: list[LinearConstraint],
+    remaining: list[Symbol],
+    minimize_threshold: int,
+) -> list[LinearConstraint]:
     while remaining:
         symbol = _pick_symbol(current, remaining)
         remaining.remove(symbol)
@@ -180,7 +214,13 @@ def _fourier_motzkin_step(
 def _clean(
     constraints: Sequence[LinearConstraint],
 ) -> list[LinearConstraint] | None:
-    """Drop trivial/duplicate/dominated constraints; None on contradiction."""
+    """Drop trivial/duplicate/dominated constraints; None on contradiction.
+
+    Besides syntactic subsumption (same left-hand side, keep the tighter
+    constant) this propagates single-symbol bounds: a crossed lower/upper
+    pair proves the whole system empty before any LP or combination step
+    runs on it.
+    """
     seen: dict[tuple, LinearConstraint] = {}
     for constraint in constraints:
         if constraint.is_contradiction:
@@ -199,17 +239,36 @@ def _clean(
         else:
             if normalized.constant != existing.constant:
                 return None
-    return list(seen.values())
+    result = list(seen.values())
+    if lp.interval_contradiction(result):
+        return None
+    return result
 
 
 def minimize_constraints(
     constraints: Sequence[LinearConstraint],
 ) -> list[LinearConstraint]:
-    """Remove constraints entailed by the remaining ones (LP-based)."""
+    """Remove constraints entailed by the remaining ones (LP-based).
+
+    Memoized on the canonicalised system; the entailment queries themselves
+    are additionally memoized in the LP layer, so re-minimizing a system
+    that grew by a few constraints only pays for the new queries.
+    """
     cleaned = _clean(constraints)
     if cleaned is None:
         return [_contradiction()]
-    kept: list[LinearConstraint] = list(cleaned)
+    if len(cleaned) <= 1:
+        return cleaned
+    canonical, _, _, inverse = memo.canonical_system(cleaned)
+    minimized = _MINIMIZE_CACHE.lookup(
+        canonical, lambda: tuple(_minimize_core(list(canonical)))
+    )
+    return [c.rename(inverse) for c in minimized]
+
+
+def _minimize_core(
+    kept: list[LinearConstraint],
+) -> list[LinearConstraint]:
     index = 0
     while index < len(kept):
         candidate = kept[index]

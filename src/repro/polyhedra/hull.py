@@ -44,6 +44,27 @@ def weak_join(first: Polyhedron, second: Polyhedron) -> Polyhedron:
         return second
     if second.is_empty():
         return first
+
+    def entailed_by(polyhedron: Polyhedron, syntactic: frozenset):
+        def check(constraint: LinearConstraint) -> bool:
+            # Syntactic subsumption first: a constraint the other argument
+            # states verbatim (up to normalization) needs no LP call.
+            normalized = constraint.normalize()
+            if (normalized.coeffs, normalized.constant, normalized.kind) in syntactic:
+                return True
+            return polyhedron.entails(constraint)
+
+        return check
+
+    def syntactic_forms(polyhedron: Polyhedron) -> frozenset:
+        forms = set()
+        for constraint in polyhedron.constraints:
+            normalized = constraint.normalize()
+            forms.add((normalized.coeffs, normalized.constant, normalized.kind))
+        return frozenset(forms)
+
+    in_second = entailed_by(second, syntactic_forms(second))
+    in_first = entailed_by(first, syntactic_forms(first))
     kept: list[LinearConstraint] = []
     for constraint in first.constraints:
         if constraint.kind is ConstraintKind.EQ:
@@ -53,9 +74,9 @@ def weak_join(first: Polyhedron, second: Polyhedron) -> Polyhedron:
                 {s: -c for s, c in constraint.coeffs}, -constraint.constant
             )
             for half in (le, ge):
-                if second.entails(half):
+                if in_second(half):
                     kept.append(half)
-        elif second.entails(constraint):
+        elif in_second(constraint):
             kept.append(constraint)
     for constraint in second.constraints:
         if constraint.kind is ConstraintKind.EQ:
@@ -64,9 +85,9 @@ def weak_join(first: Polyhedron, second: Polyhedron) -> Polyhedron:
                 {s: -c for s, c in constraint.coeffs}, -constraint.constant
             )
             for half in (le, ge):
-                if first.entails(half):
+                if in_first(half):
                     kept.append(half)
-        elif first.entails(constraint):
+        elif in_first(constraint):
             kept.append(constraint)
     return Polyhedron(kept).minimize()
 

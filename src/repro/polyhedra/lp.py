@@ -26,12 +26,19 @@ import numpy as np
 from scipy.optimize import linprog
 
 from ..formulas.symbols import Symbol
+from . import cache
 from .constraint import ConstraintKind, LinearConstraint
 
 __all__ = ["LpResult", "LpStatus", "maximize", "is_satisfiable", "entails", "TOLERANCE"]
 
 #: Absolute tolerance used when interpreting floating-point LP results.
 TOLERANCE = 1e-7
+
+#: Memo tables for the two soundness-critical (and frequently repeated)
+#: queries.  Both are pure functions of the canonicalised constraint system,
+#: so the tables survive across polyhedra, hull folds and minimization passes.
+_SAT_CACHE = cache.register_cache("lp.is_satisfiable")
+_ENTAILS_CACHE = cache.register_cache("lp.entails")
 
 
 @dataclass(frozen=True)
@@ -141,18 +148,56 @@ def is_satisfiable(constraints: Sequence[LinearConstraint]) -> bool:
     (claiming emptiness of a non-empty set would be unsound for clients that
     prune DNF cubes); LP solver errors are treated as "satisfiable".
     """
-    from .simplex import exact_is_satisfiable  # local import avoids a cycle
-
     for constraint in constraints:
         if constraint.is_contradiction:
             return False
     nontrivial = [c for c in constraints if c.coeffs]
     if not nontrivial:
         return True
+    if interval_contradiction(nontrivial):
+        return False
+    key = cache.canonical_key(nontrivial)
+    return _SAT_CACHE.lookup(key, lambda: _is_satisfiable_uncached(nontrivial))
+
+
+def _is_satisfiable_uncached(nontrivial: Sequence[LinearConstraint]) -> bool:
+    from .simplex import exact_is_satisfiable  # local import avoids a cycle
+
     result = maximize({}, nontrivial)
     if result.status == LpStatus.INFEASIBLE:
         return exact_is_satisfiable(nontrivial)
     return True
+
+
+def interval_contradiction(constraints: Sequence[LinearConstraint]) -> bool:
+    """Cheap syntactic emptiness test from single-symbol constraints.
+
+    Collects the tightest lower/upper bound each single-symbol constraint
+    puts on its symbol (equalities contribute both); a crossed pair of
+    bounds proves the system empty with no LP call.  ``False`` means
+    "unknown", never "non-empty".
+    """
+    lower: dict[Symbol, Fraction] = {}
+    upper: dict[Symbol, Fraction] = {}
+    for constraint in constraints:
+        if len(constraint.coeffs) != 1:
+            continue
+        symbol, coeff = constraint.coeffs[0]
+        bound = -constraint.constant / coeff
+        if constraint.kind is ConstraintKind.EQ:
+            is_upper = is_lower = True
+        else:
+            is_upper = coeff > 0
+            is_lower = not is_upper
+        if is_upper and (symbol not in upper or bound < upper[symbol]):
+            upper[symbol] = bound
+        if is_lower and (symbol not in lower or bound > lower[symbol]):
+            lower[symbol] = bound
+    for symbol, low in lower.items():
+        high = upper.get(symbol)
+        if high is not None and low > high:
+            return True
+    return False
 
 
 def entails(
@@ -166,6 +211,15 @@ def entails(
     """
     if candidate.is_trivial:
         return True
+    key = cache.entailment_key(constraints, candidate)
+    return _ENTAILS_CACHE.lookup(
+        key, lambda: _entails_uncached(constraints, candidate)
+    )
+
+
+def _entails_uncached(
+    constraints: Sequence[LinearConstraint], candidate: LinearConstraint
+) -> bool:
     if not is_satisfiable(list(constraints)):
         return True
     if candidate.kind is ConstraintKind.EQ:

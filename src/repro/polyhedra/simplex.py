@@ -61,11 +61,18 @@ class _Tableau:
         self.ncols = len(rows[0]) if rows else 0
 
     def pivot(self, row: int, col: int) -> None:
-        """Make ``col`` basic in ``row``."""
+        """Make ``col`` basic in ``row``.
+
+        The tableau is mostly zeros (slack and artificial columns), so every
+        update skips zero entries instead of paying a Fraction multiply-and-
+        subtract for them — the values produced are identical.
+        """
         pivot_value = self.rows[row][col]
-        inv = Fraction(1) / pivot_value
-        self.rows[row] = [a * inv for a in self.rows[row]]
-        self.rhs[row] *= inv
+        if pivot_value != 1:
+            inv = Fraction(1) / pivot_value
+            self.rows[row] = [a * inv if a else a for a in self.rows[row]]
+            self.rhs[row] *= inv
+        pivot_row = self.rows[row]
         for r in range(len(self.rows)):
             if r == row:
                 continue
@@ -73,7 +80,8 @@ class _Tableau:
             if factor == 0:
                 continue
             self.rows[r] = [
-                a - factor * p for a, p in zip(self.rows[r], self.rows[row])
+                a - factor * p if p else a
+                for a, p in zip(self.rows[r], pivot_row)
             ]
             self.rhs[r] -= factor * self.rhs[row]
         self.basis[row] = col
@@ -93,7 +101,9 @@ class _Tableau:
             coeff = obj_row[basic_col]
             if coeff == 0:
                 continue
-            obj_row = [a - coeff * b for a, b in zip(obj_row, self.rows[i])]
+            obj_row = [
+                a - coeff * b if b else a for a, b in zip(obj_row, self.rows[i])
+            ]
             obj_value -= coeff * self.rhs[i]
         # obj_value currently holds -(objective of the basic solution).
         while True:
@@ -121,7 +131,10 @@ class _Tableau:
                 return "unbounded", Fraction(0)
             coeff = obj_row[entering]
             self.pivot(leaving, entering)
-            obj_row = [a - coeff * b for a, b in zip(obj_row, self.rows[leaving])]
+            obj_row = [
+                a - coeff * b if b else a
+                for a, b in zip(obj_row, self.rows[leaving])
+            ]
             obj_value -= coeff * self.rhs[leaving]
 
 
@@ -163,18 +176,82 @@ def _standard_form(
     return rows, rhs, obj, ncols
 
 
+def _presolve(
+    objective: Mapping[Symbol, Fraction],
+    constraints: Sequence[LinearConstraint],
+) -> tuple[dict[Symbol, Fraction], list[LinearConstraint], Fraction] | None:
+    """Gaussian-substitute every equality before the tableau is built.
+
+    An equality ``a*s + e + k == 0`` determines ``s`` exactly, so ``s`` can
+    be eliminated from the system *and the objective* without changing the
+    feasible region's image or the optimum (the objective picks up a
+    constant offset, which is returned and added back by the caller).  Cube
+    polyhedra are dominated by assignment equalities, so this routinely
+    shrinks the tableau from dozens of columns to a handful — and simplex
+    cost is superlinear in the tableau size.
+
+    Returns ``(objective, inequalities, offset)``, or ``None`` when a
+    substitution chain exposes a contradiction (the system is infeasible).
+    """
+    obj = {s: Fraction(c) for s, c in objective.items() if Fraction(c) != 0}
+    offset = Fraction(0)
+    pending = list(constraints)
+    inequalities: list[LinearConstraint] = []
+    while pending:
+        constraint = pending.pop()
+        if constraint.is_contradiction:
+            return None
+        if constraint.is_trivial:
+            continue
+        if constraint.kind is not ConstraintKind.EQ:
+            inequalities.append(constraint)
+            continue
+        symbol, coeff = constraint.coeffs[0]
+        factor_map = {s: c / coeff for s, c in constraint.coeffs}
+        constant = constraint.constant / coeff
+
+        def substitute(target: LinearConstraint) -> LinearConstraint:
+            c = target.coefficient(symbol)
+            if c == 0:
+                return target
+            coeffs = target.coeff_map
+            for s, e in factor_map.items():
+                coeffs[s] = coeffs.get(s, Fraction(0)) - c * e
+            return LinearConstraint.make(
+                coeffs, target.constant - c * constant, target.kind
+            )
+
+        pending = [substitute(c) for c in pending]
+        inequalities = [substitute(c) for c in inequalities]
+        weight = obj.pop(symbol, Fraction(0))
+        if weight != 0:
+            # s = -(rest + constant)/coeff; fold it into the objective.
+            for s, e in factor_map.items():
+                if s is not symbol:
+                    obj[s] = obj.get(s, Fraction(0)) - weight * e
+            offset -= weight * constant
+            obj = {s: c for s, c in obj.items() if c != 0}
+    survivors = []
+    for constraint in inequalities:
+        if constraint.is_contradiction:
+            return None
+        if not constraint.is_trivial:
+            survivors.append(constraint)
+    return obj, survivors, offset
+
+
 def exact_maximize(
     objective: Mapping[Symbol, Fraction],
     constraints: Sequence[LinearConstraint],
 ) -> ExactLpResult:
     """Exactly maximize ``objective`` subject to ``constraints`` (free vars)."""
-    for constraint in constraints:
-        if constraint.is_contradiction:
-            return ExactLpResult("infeasible")
-    constraints = [c for c in constraints if c.coeffs]
+    reduced = _presolve(objective, constraints)
+    if reduced is None:
+        return ExactLpResult("infeasible")
+    objective, constraints, offset = reduced
     if not constraints:
-        if not objective or all(Fraction(c) == 0 for c in objective.values()):
-            return ExactLpResult("optimal", Fraction(0))
+        if not objective:
+            return ExactLpResult("optimal", offset)
         return ExactLpResult("unbounded")
     rows, rhs, obj, ncols = _standard_form(objective, constraints)
     nrows = len(rows)
@@ -216,7 +293,7 @@ def exact_maximize(
     status, value = tableau.optimize(phase2_obj, allowed=allowed)
     if status == "unbounded":
         return ExactLpResult("unbounded")
-    return ExactLpResult("optimal", value)
+    return ExactLpResult("optimal", value + offset)
 
 
 def exact_is_satisfiable(constraints: Sequence[LinearConstraint]) -> bool:

@@ -1,6 +1,14 @@
 """Rendering of evaluation artefacts: Table 1/2 rows and the Fig. 3 cactus series."""
 
 from .cactus import CactusSeries, build_series, render_csv, render_text
-from .tables import format_table
+from .tables import format_table, render_table1, render_table2
 
-__all__ = ["CactusSeries", "build_series", "render_csv", "render_text", "format_table"]
+__all__ = [
+    "CactusSeries",
+    "build_series",
+    "render_csv",
+    "render_text",
+    "format_table",
+    "render_table1",
+    "render_table2",
+]

@@ -1,10 +1,21 @@
-"""Plain-text table rendering for the benchmark harnesses."""
+"""Plain-text table rendering for the benchmark harnesses.
+
+Besides the generic :func:`format_table`, this module renders the paper's
+evaluation artefacts from engine results: :func:`render_table1` (complexity
+bounds vs. the bounds reported for CHORA and ICRA in Table 1) and
+:func:`render_table2` (assertion verdicts vs. the paper's per-tool verdict
+row).  Timing columns are opt-in so that the rendered tables are
+deterministic — the golden-output tests snapshot them verbatim.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-__all__ = ["format_table"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..engine.batch import BatchResult
+
+__all__ = ["format_table", "render_table1", "render_table2"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -22,3 +33,77 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     out = [line(list(headers)), separator]
     out.extend(line(row) for row in string_rows)
     return "\n".join(out)
+
+
+def _paper(entry_by_name, name: str, key: str, default: str = "-") -> str:
+    entry = entry_by_name.get(name)
+    if entry is None:
+        return default
+    value = entry.paper.get(key, default)
+    return default if value is None else str(value)
+
+
+def _verdict_cell(result: "BatchResult") -> str:
+    if result.outcome != "ok":
+        return result.outcome
+    if result.proved is None:
+        return "-"
+    return "proved" if result.proved else "unknown"
+
+
+def render_table1(
+    results: Sequence["BatchResult"], include_times: bool = False
+) -> str:
+    """Render Table-1 rows: the bound found here vs. the paper's columns."""
+    from ..benchlib.suites import get_suite
+
+    entry_by_name = {entry.name: entry for entry in get_suite("table1").entries}
+    headers = ["benchmark", "bound", "paper CHORA", "paper ICRA", "actual"]
+    if include_times:
+        headers.append("time")
+    rows = []
+    for result in results:
+        row = [
+            result.name,
+            result.bound if result.outcome == "ok" else result.outcome,
+            _paper(entry_by_name, result.name, "chora"),
+            _paper(entry_by_name, result.name, "icra"),
+            _paper(entry_by_name, result.name, "actual"),
+        ]
+        if include_times:
+            row.append(f"{result.wall_time:.2f}s")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def render_table2(
+    results: Sequence["BatchResult"], include_times: bool = False
+) -> str:
+    """Render Table-2 rows: assertion verdicts vs. the paper's tool columns."""
+    from ..benchlib.suites import get_suite
+
+    entry_by_name = {entry.name: entry for entry in get_suite("table2").entries}
+    headers = ["benchmark", "verdict", "paper CHORA", "paper ICRA", "paper UA"]
+    if include_times:
+        headers.append("time")
+    rows = []
+    for result in results:
+        entry = entry_by_name.get(result.name)
+        verdicts = dict(entry.paper.get("verdicts", {})) if entry else {}
+
+        def tool(name: str) -> str:
+            if name not in verdicts:
+                return "-"
+            return "proved" if verdicts[name] else "unknown"
+
+        row = [
+            result.name,
+            _verdict_cell(result),
+            tool("CHORA"),
+            tool("ICRA"),
+            tool("UA"),
+        ]
+        if include_times:
+            row.append(f"{result.wall_time:.2f}s")
+        rows.append(row)
+    return format_table(headers, rows)

@@ -97,6 +97,125 @@ class TestFastCommands:
         assert "table2" in completed.stdout
 
 
+class TestBenchTool:
+    def test_tool_maps_suite_kinds(self):
+        from repro.engine.suites import suite_tasks
+
+        assert {t.kind for t in suite_tasks("table1", full=True, tool="icra")} == {
+            "complexity-icra"
+        }
+        assert {t.kind for t in suite_tasks("table2", tool="icra")} == {
+            "assertion-icra"
+        }
+        tasks = suite_tasks("table2", tool="unrolling", depth=2)
+        assert {t.kind for t in tasks} == {"assertion-unrolling"}
+        assert all(t.param("depth") == 2 for t in tasks)
+        assert {t.kind for t in suite_tasks("table2", tool="chora")} == {"assertion"}
+
+    def test_unknown_tool_is_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--suite", "table2", "--tool", "nonsense"])
+
+    def test_unrolling_on_complexity_suite_is_an_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "bench", "--suite", "table1", "--tool", "unrolling"
+        )
+        assert code == 2
+        assert "no mode" in err
+
+    def test_depth_is_rejected_for_non_unrolling_tools(self, capsys):
+        code, _, err = run_cli(
+            capsys, "bench", "--suite", "table2", "--tool", "icra", "--depth", "4"
+        )
+        assert code == 2
+        assert "--depth" in err
+
+    def test_bench_runs_the_unrolling_baseline(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "bench", "--suite", "table2", "--tool", "unrolling",
+            "--depth", "2", "--json", "--no-cache",
+        )
+        assert code == 0
+        data = json.loads(out)
+        assert data["tool"] == "unrolling"
+        assert [r["kind"] for r in data["results"]] == ["assertion-unrolling"] * 3
+        assert data["totals"]["error"] == 0
+
+
+class TestProfileCommand:
+    def test_requires_a_target(self, capsys):
+        code, _, err = run_cli(capsys, "profile")
+        assert code == 2
+        assert "--suite" in err
+
+    def test_micro_records_entries_and_checks(self, capsys, tmp_path):
+        argv = [
+            "profile", "--micro", "--repeats", "1",
+            "--perf-dir", str(tmp_path), "--label", "first",
+        ]
+        code, out, _ = run_cli(capsys, *argv)
+        assert code == 0
+        bench_file = tmp_path / "BENCH_micro.json"
+        assert bench_file.exists()
+        data = json.loads(bench_file.read_text(encoding="utf-8"))
+        assert len(data["entries"]) == 1
+        assert {row["name"] for row in data["entries"][0]["rows"]} >= {
+            "projection_chain", "hull_ladder", "minimize_redundant",
+        }
+        # A second run with --check compares against the first entry; the
+        # same code cannot regress against itself beyond the huge threshold.
+        code, out, _ = run_cli(
+            capsys,
+            "profile", "--micro", "--repeats", "1", "--perf-dir", str(tmp_path),
+            "--check", "--threshold", "10000",
+        )
+        assert code == 0
+        data = json.loads(bench_file.read_text(encoding="utf-8"))
+        assert len(data["entries"]) == 2
+        assert "baseline" in out and "ratio" in out
+
+    def test_regression_gate_fails_on_slowdown(self, tmp_path, capsys):
+        from repro.engine import profile as perf
+
+        path = perf.bench_path(tmp_path, "micro")
+        perf.append_entry(
+            path,
+            {
+                "kind": "micro", "suite": "micro", "label": "fabricated",
+                "created": "2026-01-01T00:00:00Z", "repeats": 1,
+                "rows": [{"name": "projection_chain", "seconds": 0.000001}],
+                "totals": {"seconds": 0.000001},
+            },
+        )
+        code, _, err = run_cli(
+            capsys,
+            "profile", "--micro", "--repeats", "1",
+            "--perf-dir", str(tmp_path), "--check",
+        )
+        # Anything real is slower than a fabricated micro-second baseline...
+        # except that sub-20ms baseline rows are ignored as noise, so this
+        # must still pass.
+        assert code == 0
+
+        perf.append_entry(
+            path,
+            {
+                "kind": "micro", "suite": "micro", "label": "fabricated-slow",
+                "created": "2026-01-01T00:00:00Z", "repeats": 1,
+                "rows": [{"name": "projection_chain", "seconds": 0.05}],
+                "totals": {"seconds": 0.05},
+            },
+        )
+        code, _, err = run_cli(
+            capsys,
+            "profile", "--micro", "--repeats", "1",
+            "--perf-dir", str(tmp_path), "--check", "--threshold", "-99.9",
+        )
+        assert code == 1
+        assert "PERF REGRESSION" in err
+
+
 @pytest.mark.slow
 class TestBenchSmoke:
     def test_table2_parallel_then_cached(self, capsys, tmp_path):

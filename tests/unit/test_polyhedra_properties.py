@@ -1,0 +1,136 @@
+"""Property-based guards for the optimised polyhedral hot path (hypothesis).
+
+The hot-path optimisations (content-keyed memoization, equality presolve,
+syntactic pruning) must never change what the polyhedral layer *computes*.
+These properties pin the semantics down over randomly generated rational
+constraint systems, checking membership on an integer grid (exact arithmetic,
+no solver in the oracle):
+
+* projection soundness — every point of the input system satisfies its
+  Fourier–Motzkin projection;
+* hull containment — the polyhedral join contains each of its arguments;
+* minimization — ``minimize_constraints`` preserves the solution set exactly;
+* memo determinism — cached and uncached projections are identical.
+"""
+
+import itertools
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.formulas import sym
+from repro.polyhedra import (
+    ConstraintKind,
+    LinearConstraint,
+    Polyhedron,
+    clear_caches,
+    convex_hull_pair,
+    eliminate,
+    minimize_constraints,
+)
+
+SYMBOLS = [sym(name) for name in ("x", "y", "z")]
+
+#: Exact oracle: every integer point of a small grid.
+GRID = [
+    dict(zip(SYMBOLS, point))
+    for point in itertools.product(range(-3, 4), repeat=len(SYMBOLS))
+]
+
+
+@st.composite
+def constraints(draw):
+    coeffs = {
+        symbol: Fraction(draw(st.integers(-3, 3)))
+        for symbol in draw(
+            st.lists(st.sampled_from(SYMBOLS), min_size=1, max_size=3, unique=True)
+        )
+    }
+    kind = draw(st.sampled_from([ConstraintKind.LE, ConstraintKind.LE, ConstraintKind.EQ]))
+    return LinearConstraint.make(coeffs, Fraction(draw(st.integers(-4, 4))), kind)
+
+
+@st.composite
+def systems(draw, min_size=1, max_size=5):
+    return draw(st.lists(constraints(), min_size=min_size, max_size=max_size))
+
+
+def satisfies(system, point) -> bool:
+    return all(constraint.evaluate(point) for constraint in system)
+
+
+class TestProjectionSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(systems(), st.sampled_from(SYMBOLS))
+    def test_grid_points_survive_projection(self, system, eliminated):
+        projected = eliminate(system, [eliminated])
+        for point in GRID:
+            if satisfies(system, point):
+                assert satisfies(projected, point), (
+                    f"{point} satisfies the input but not its projection"
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(systems())
+    def test_projection_mentions_no_eliminated_symbol(self, system):
+        eliminated = SYMBOLS[0]
+        projected = eliminate(system, [eliminated])
+        for constraint in projected:
+            assert eliminated not in constraint.symbols
+
+
+class TestHullContainsArguments:
+    @settings(max_examples=40, deadline=None)
+    @given(systems(), systems())
+    def test_join_contains_both_arguments(self, first, second):
+        p = Polyhedron(first)
+        q = Polyhedron(second)
+        hull = convex_hull_pair(p, q)
+        for point in GRID:
+            inside_p = satisfies(first, point)
+            inside_q = satisfies(second, point)
+            if inside_p or inside_q:
+                assert satisfies(hull.constraints, point), (
+                    f"{point} is in an argument but not in the hull"
+                )
+
+
+class TestMinimizePreservesSolutions:
+    @settings(max_examples=60, deadline=None)
+    @given(systems(max_size=6))
+    def test_solution_set_unchanged(self, system):
+        minimized = minimize_constraints(system)
+        for point in GRID:
+            assert satisfies(system, point) == satisfies(minimized, point), (
+                f"minimize changed membership of {point}"
+            )
+
+
+class TestProjectionMemoDeterminism:
+    @settings(max_examples=40, deadline=None)
+    @given(systems(), st.sampled_from(SYMBOLS))
+    def test_cached_equals_uncached(self, system, eliminated):
+        clear_caches()
+        cold = eliminate(system, [eliminated])
+        warm = eliminate(system, [eliminated])  # served from the memo table
+        assert cold == warm
+        clear_caches()
+        recomputed = eliminate(system, [eliminated])
+        assert cold == recomputed
+
+    @settings(max_examples=30, deadline=None)
+    @given(systems())
+    def test_fresh_symbol_renaming_shares_results(self, system):
+        """Projection is equivariant under renaming: the canonical-key memo
+        must return the correctly renamed result for a renamed copy."""
+        mapping = {s: sym(f"renamed_{s.name}") for s in SYMBOLS}
+        inverse = {v: k for k, v in mapping.items()}
+        renamed = [c.rename(mapping) for c in system]
+        clear_caches()
+        direct = eliminate(system, [SYMBOLS[0]])
+        via_renaming = [
+            c.rename(inverse)
+            for c in eliminate(renamed, [mapping[SYMBOLS[0]]])
+        ]
+        for point in GRID:
+            assert satisfies(direct, point) == satisfies(via_renaming, point)
