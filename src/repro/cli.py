@@ -5,7 +5,10 @@
     repro analyze FILE [--procedure P] [--cost-variable V] [--sub k=v ...]
     repro bench --suite table1|fig3|table2|all [--tool chora|icra|unrolling]
                 [--depth N] [--jobs N] [--full] [--json]
-    repro profile [--suite NAME|all] [--micro] [--check] [--threshold PCT]
+                [--engine pool|warm] [--shard I/N]
+    repro serve [--host H] [--port P] [--workers N] [--timeout S]
+    repro profile [--suite NAME|all] [--micro] [--engines] [--check]
+                  [--threshold PCT]
     repro suites
     repro cache stats|clear
 
@@ -15,10 +18,18 @@ the cost bound.  ``bench`` reproduces an evaluation artefact of the paper
 through the batch engine: programs run concurrently in worker processes,
 results are cached on disk, and a pathological program can at worst time out
 — never sink the batch; ``--tool`` swaps in one of the paper's comparison
-baselines.  ``profile`` records cold suite timings and hull/projection
-micro-benchmark timings into the append-only ``benchmarks/perf/BENCH_*.json``
-history and, with ``--check``, fails on perf regressions or verdict changes
-versus the previous entry.
+baselines, ``--engine warm`` serves the batch from long-lived warm workers
+instead of one process per task, and ``--shard i/n`` runs one deterministic
+slice of the suite and merges the other shards' results from the shared
+result cache.  ``serve`` starts the warm analysis service: an HTTP endpoint
+whose ``POST /analyze`` accepts program source and returns the same JSON
+records as ``repro analyze --json``.  ``profile`` records cold suite
+timings, hull/projection micro-benchmark timings and (with ``--engines``)
+cold-vs-warm engine comparisons into the append-only
+``benchmarks/perf/BENCH_*.json`` history and, with ``--check``, fails on
+perf regressions or verdict changes versus the previous entry.
+
+The full command reference with examples lives in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ from .engine import (
     suite_tasks,
     summarize_batch,
 )
+from .engine.config import DEFAULT_SERVICE_PORT
 from .reporting import format_table
 
 __all__ = ["main", "build_parser"]
@@ -104,7 +116,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="unrolling depth for --tool unrolling (default: the unroller's)",
     )
+    bench.add_argument(
+        "--engine",
+        choices=["pool", "warm"],
+        default="pool",
+        help="pool: one forked process per task (default); warm: long-lived"
+        " warm workers with hot caches (see repro serve)",
+    )
+    bench.add_argument(
+        "--shard",
+        metavar="I/N",
+        default=None,
+        help="run the i-th of n deterministic suite slices and merge the"
+        " other shards' results from the shared result cache",
+    )
     _engine_arguments(bench, jobs=True)
+
+    serve = commands.add_parser(
+        "serve", help="serve analysis requests over HTTP from warm workers"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVICE_PORT,
+        help=f"TCP port; 0 picks a free one (default: {DEFAULT_SERVICE_PORT})",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="number of warm worker processes (default: 2)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    _engine_arguments(serve, jobs=False, json_flag=False)
 
     profile = commands.add_parser(
         "profile",
@@ -122,13 +171,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="time the hull/projection micro-benchmarks",
     )
     profile.add_argument(
+        "--engines",
+        action="store_true",
+        help="compare cold per-task analysis against warm-worker serving"
+        " (records BENCH_engines.json; informational, not gated)",
+    )
+    profile.add_argument(
         "--label", default="", help="free-form label recorded with the entry"
     )
     profile.add_argument(
         "--repeats",
         type=int,
         default=3,
-        help="micro-benchmark repetitions (best-of; default: 3)",
+        help="micro-benchmark / --engines warm-repeat repetitions"
+        " (best-of; default: 3)",
     )
     profile.add_argument(
         "--jobs", "-j", type=int, default=1, help="worker processes for suite runs"
@@ -168,7 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _engine_arguments(parser: argparse.ArgumentParser, jobs: bool) -> None:
+def _engine_arguments(
+    parser: argparse.ArgumentParser, jobs: bool, json_flag: bool = True
+) -> None:
     if jobs:
         parser.add_argument(
             "--jobs",
@@ -193,9 +251,10 @@ def _engine_arguments(parser: argparse.ArgumentParser, jobs: bool) -> None:
         default=None,
         help="result cache location (default: REPRO_CACHE_DIR or ~/.cache/repro-chora)",
     )
-    parser.add_argument(
-        "--json", action="store_true", help="emit machine-readable JSON"
-    )
+    if json_flag:
+        parser.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
 
 
 def _make_engine(arguments: argparse.Namespace) -> BatchEngine:
@@ -273,13 +332,62 @@ def _command_bench(arguments: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"repro: {error}", file=sys.stderr)
         return 2
-    engine = _make_engine(arguments)
+    options = ChoraOptions()
+    cache = make_cache(
+        no_cache=getattr(arguments, "no_cache", False), directory=arguments.cache_dir
+    )
+
+    shard = None
+    run_tasks = tasks
+    mine: list = []
+    foreign: list = []
+    if arguments.shard is not None:
+        from .engine.shard import merged_shard_results, parse_shard, partition_tasks
+
+        try:
+            shard = parse_shard(arguments.shard)
+        except ValueError as error:
+            print(f"repro: {error}", file=sys.stderr)
+            return 2
+        if cache is None:
+            print(
+                "repro: --shard needs the result cache (it is the shared store"
+                " that merges the shards); drop --no-cache and point every"
+                " shard's --cache-dir at one directory",
+                file=sys.stderr,
+            )
+            return 2
+        mine, foreign = partition_tasks(tasks, *shard)
+        run_tasks = [task for _, task in mine]
 
     def progress(result: BatchResult) -> None:
         if not arguments.json:
             print(f"  {result.name}: {_verdict(result)}", flush=True)
 
-    results = engine.run(tasks, progress=progress)
+    if arguments.engine == "warm":
+        from .service import WorkerPool
+
+        with WorkerPool(
+            workers=arguments.jobs,
+            timeout=arguments.timeout or None,
+            options=options,
+            cache=cache,
+        ) as pool:
+            results = pool.run(run_tasks, progress=progress)
+    else:
+        engine = BatchEngine(
+            jobs=arguments.jobs,
+            timeout=arguments.timeout or None,
+            cache=cache,
+            options=options,
+        )
+        results = engine.run(run_tasks, progress=progress)
+
+    if shard is not None:
+        results = merged_shard_results(
+            tasks, results, mine, foreign, cache, options, shard[1]
+        )
+
     totals = summarize_batch(results)
     if arguments.json:
         print(
@@ -287,6 +395,8 @@ def _command_bench(arguments: argparse.Namespace) -> int:
                 {
                     "suite": arguments.suite,
                     "tool": arguments.tool,
+                    "engine": arguments.engine,
+                    "shard": arguments.shard,
                     "jobs": arguments.jobs,
                     "full": full,
                     "results": [result.to_dict() for result in results],
@@ -315,12 +425,49 @@ def _command_bench(arguments: argparse.Namespace) -> int:
                 ],
             )
         )
+        pending = f", {totals['pending']} pending" if totals["pending"] else ""
         print(
             f"\n{totals['ok']}/{totals['total']} ok, {totals['proved']} proved, "
-            f"{totals['timeout']} timeout, {totals['error']} error, "
+            f"{totals['timeout']} timeout, {totals['error']} error{pending}, "
             f"{totals['cache_hits']} cache hits, {totals['wall_time']:.2f}s total"
         )
-    return 1 if totals["error"] else 0
+    if totals["error"]:
+        return 1
+    # Exit 3 distinguishes "this shard succeeded but the merged suite is
+    # still missing other shards' results" from a complete run, so a
+    # driver coordinating N machines can poll on the exit status.
+    if totals["pending"]:
+        return 3
+    return 0
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from .service import serve as build_server
+
+    cache = make_cache(
+        no_cache=getattr(arguments, "no_cache", False), directory=arguments.cache_dir
+    )
+    server = build_server(
+        host=arguments.host,
+        port=arguments.port,
+        workers=arguments.workers,
+        timeout=arguments.timeout or None,
+        cache=cache,
+        verbose=arguments.verbose,
+    )
+    host, port = server.address
+    print(
+        f"repro serve: {arguments.workers} warm workers on http://{host}:{port}"
+        f" (POST /analyze, GET /healthz, GET /stats; Ctrl-C stops)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
 
 
 def _verdict(result: BatchResult) -> str:
@@ -336,8 +483,11 @@ def _verdict(result: BatchResult) -> str:
 def _command_profile(arguments: argparse.Namespace) -> int:
     from .engine import profile as perf
 
-    if not arguments.micro and not arguments.suite:
-        print("repro profile: pass --suite NAME and/or --micro", file=sys.stderr)
+    if not arguments.micro and not arguments.suite and not arguments.engines:
+        print(
+            "repro profile: pass --suite NAME, --micro and/or --engines",
+            file=sys.stderr,
+        )
         return 2
     directory = arguments.perf_dir or perf.DEFAULT_PERF_DIR
     threshold = arguments.threshold / 100.0
@@ -365,7 +515,10 @@ def _command_profile(arguments: argparse.Namespace) -> int:
                     ],
                 )
             )
-        if arguments.check and baseline is not None:
+        # Engine-comparison entries are informational (sub-millisecond warm
+        # rows are pure scheduler noise) and never gate.
+        gated = entry.get("kind") != "engines"
+        if arguments.check and baseline is not None and gated:
             for regression in perf.compare_entries(baseline, entry, threshold):
                 failures.append(f"{name}: {regression}")
             failures.extend(
@@ -374,6 +527,16 @@ def _command_profile(arguments: argparse.Namespace) -> int:
 
     if arguments.micro:
         record("micro", perf.micro_entry(arguments.label, arguments.repeats))
+    if arguments.engines:
+        record(
+            "engines",
+            perf.engine_comparison_entry(
+                arguments.suite or "table2",
+                label=arguments.label,
+                repeats=arguments.repeats,
+                full=arguments.full or full_bench_enabled(),
+            ),
+        )
     if arguments.suite:
         names = (
             sorted(suite_names()) if arguments.suite == "all" else [arguments.suite]
@@ -448,15 +611,17 @@ def _command_cache(arguments: argparse.Namespace) -> int:
         print(f"removed {removed} cached results from {cache.directory}")
         return 0
     stats = cache.stats()
-    print(
-        f"{stats['entries']} entries, {stats['bytes']} bytes in {stats['directory']}"
-    )
+    print(f"directory: {stats['directory']}")
+    print(f"{stats['entries']} entries, {stats['bytes']} bytes")
+    for suite, count in stats["suites"].items():
+        print(f"  {suite}: {count}")
     return 0
 
 
 _COMMANDS = {
     "analyze": _command_analyze,
     "bench": _command_bench,
+    "serve": _command_serve,
     "profile": _command_profile,
     "suites": _command_suites,
     "cache": _command_cache,

@@ -31,7 +31,8 @@ from .depth_bound import (
 from .two_region import recursive_only_cfg, run_two_region_analysis
 from .mutual import analyze_component_decoupled, analyze_mutual_component
 from .missing_base import procedures_without_base_case, transform_missing_base_cases
-from .chora import AnalysisResult, ChoraOptions, analyze_program
+from .chora import AnalysisResult, ChoraOptions, analyze_component, analyze_program
+from .incremental import IncrementalAnalyzer, IncrementalReport
 from .assertion import AssertionOutcome, check_assertion, check_assertions
 from .complexity import (
     NO_BOUND,
@@ -66,7 +67,10 @@ __all__ = [
     "transform_missing_base_cases",
     "AnalysisResult",
     "ChoraOptions",
+    "analyze_component",
     "analyze_program",
+    "IncrementalAnalyzer",
+    "IncrementalReport",
     "AssertionOutcome",
     "check_assertion",
     "check_assertions",

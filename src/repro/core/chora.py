@@ -29,7 +29,12 @@ from .stratify import build_stratified_system
 from .summaries import BoundedTerm, DepthBound, ProcedureSummary
 from .two_region import run_two_region_analysis
 
-__all__ = ["ChoraOptions", "AnalysisResult", "analyze_program"]
+__all__ = [
+    "ChoraOptions",
+    "AnalysisResult",
+    "analyze_program",
+    "analyze_component",
+]
 
 
 @dataclass(frozen=True)
@@ -101,24 +106,46 @@ def analyze_program(
     external: dict[str, TransitionFormula] = {}
 
     for component in graph.strongly_connected_components():
-        if not graph.is_recursive(component):
-            name = component[0]
-            transition = summarize_procedure(
-                contexts[name], {}, external, procedures, options.abstraction
-            )
-            summary = ProcedureSummary(
-                name,
-                contexts[name].summary_variables,
-                transition,
-                is_recursive=False,
-            )
-            result.summaries[name] = summary
-            external[name] = transition
-            continue
-        _analyze_recursive_component(
-            component, contexts, procedures, external, result, options
+        analyze_component(
+            component, graph, contexts, procedures, external, result, options
         )
     return result
+
+
+def analyze_component(
+    component: list[str],
+    graph: CallGraph,
+    contexts: Mapping[str, ProcedureContext],
+    procedures: Mapping[str, ast.Procedure],
+    external: dict[str, TransitionFormula],
+    result: AnalysisResult,
+    options: ChoraOptions,
+) -> None:
+    """Summarize one call-graph SCC, given its callees' ``external`` formulas.
+
+    This is the unit step of :func:`analyze_program`'s topological pass; it
+    is exposed so :class:`repro.core.incremental.IncrementalAnalyzer` can
+    re-run exactly the components whose fingerprints changed.  On return the
+    component's summaries are recorded in ``result`` and its procedures'
+    call interpretations added to ``external``.
+    """
+    if not graph.is_recursive(component):
+        name = component[0]
+        transition = summarize_procedure(
+            contexts[name], {}, external, procedures, options.abstraction
+        )
+        summary = ProcedureSummary(
+            name,
+            contexts[name].summary_variables,
+            transition,
+            is_recursive=False,
+        )
+        result.summaries[name] = summary
+        external[name] = transition
+        return
+    _analyze_recursive_component(
+        component, contexts, procedures, external, result, options
+    )
 
 
 def _analyze_recursive_component(

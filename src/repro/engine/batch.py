@@ -29,8 +29,10 @@ from .tasks import AnalysisTask, execute_task
 
 __all__ = ["BatchEngine", "BatchResult", "summarize_batch"]
 
-#: Result outcomes, from best to worst.
-OUTCOMES = ("ok", "timeout", "error", "crash")
+#: Result outcomes, from best to worst.  ``pending`` only appears in sharded
+#: runs: the task belongs to another shard and its result has not reached
+#: the shared cache yet.
+OUTCOMES = ("ok", "pending", "timeout", "error", "crash")
 
 
 @dataclass(frozen=True)
@@ -224,7 +226,12 @@ class BatchEngine:
                 status, body = message
                 if status == "ok":
                     if state.key is not None and self.cache is not None:
-                        self.cache.put(state.key, body, task_name=state.task.name)
+                        self.cache.put(
+                            state.key,
+                            body,
+                            task_name=state.task.name,
+                            suite=state.task.suite,
+                        )
                     finish(
                         index, _result_from_payload(state.task, body, elapsed, False)
                     )
@@ -299,6 +306,7 @@ def summarize_batch(results: Sequence[BatchResult]) -> dict[str, Any]:
         "proved": sum(bool(result.proved) for result in results),
         "timeout": sum(result.outcome == "timeout" for result in results),
         "error": sum(result.outcome in ("error", "crash") for result in results),
+        "pending": sum(result.outcome == "pending" for result in results),
         "cache_hits": sum(result.cache_hit for result in results),
         "wall_time": round(sum(result.wall_time for result in results), 3),
     }

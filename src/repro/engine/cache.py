@@ -10,9 +10,13 @@ a version bump) each invalidates the affected entries.  Benchmark *names*
 are deliberately not part of the key: two suites sharing a program share its
 cached result.
 
-Entries are single JSON files named by the key's SHA-256 digest, written
-atomically (temp file + rename) so concurrent engines can share a cache
-directory safely.
+Entries are single JSON documents named by the key's SHA-256 digest, held
+in a pluggable :class:`~repro.engine.storage.CacheStorage` backend.  The
+default backend is a directory of files written atomically (temp file +
+rename) so concurrent engines — including ``repro bench --shard i/n``
+shards on different machines pointing at one shared directory — can mix
+reads and writes safely; the key is host-independent, so a shared store
+turns N machines into one batch.
 """
 
 from __future__ import annotations
@@ -20,14 +24,13 @@ from __future__ import annotations
 import functools
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Optional
 
 from .. import __version__
 from ..core import ChoraOptions
 from .config import cache_enabled, default_cache_directory
+from .storage import CacheStorage, DirectoryStorage
 from .tasks import AnalysisTask
 
 __all__ = ["ResultCache", "make_cache", "CACHE_SCHEMA_VERSION"]
@@ -89,50 +92,80 @@ def make_cache(
 
 
 class ResultCache:
-    """A directory of content-addressed analysis payloads."""
+    """Content-addressed analysis payloads over a pluggable storage backend.
 
-    def __init__(self, directory: Path | str):
-        self.directory = Path(directory)
+    ``ResultCache(directory)`` keeps the historical behaviour (one JSON file
+    per entry in ``directory``); ``ResultCache(storage=backend)`` accepts
+    any :class:`~repro.engine.storage.CacheStorage`, which is how a shared
+    network directory, an in-memory test cache, or a future object store
+    plug in without the engine noticing.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Path | str] = None,
+        *,
+        storage: Optional[CacheStorage] = None,
+    ):
+        if storage is None:
+            if directory is None:
+                raise ValueError("ResultCache needs a directory or a storage backend")
+            storage = DirectoryStorage(directory)
+        elif directory is not None:
+            raise ValueError("pass either a directory or a storage backend, not both")
+        self.storage = storage
+
+    @property
+    def directory(self) -> Optional[Path]:
+        """The backing directory, when the backend has one (else ``None``)."""
+        if isinstance(self.storage, DirectoryStorage):
+            return self.storage.directory
+        return None
 
     def key(self, task: AnalysisTask, options: ChoraOptions) -> str:
         return cache_key(task, options)
 
-    def _path(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
+    def _load_entry(self, key: str) -> Optional[dict[str, Any]]:
+        data = self.storage.read(key)
+        if data is None:
+            return None
+        try:
+            entry = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        return entry if isinstance(entry, dict) else None
 
     def get(self, key: str) -> Optional[dict[str, Any]]:
         """The cached payload for ``key``, or ``None`` on a miss."""
-        try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        entry = self._load_entry(key)
+        if entry is None:
             return None
         payload = entry.get("payload")
         return payload if isinstance(payload, dict) else None
 
-    def put(self, key: str, payload: dict[str, Any], *, task_name: str = "") -> None:
-        """Store ``payload`` under ``key`` (atomic; failures are non-fatal)."""
+    def put(
+        self,
+        key: str,
+        payload: dict[str, Any],
+        *,
+        task_name: str = "",
+        suite: Optional[str] = None,
+    ) -> None:
+        """Store ``payload`` under ``key`` (atomic; failures are non-fatal).
+
+        ``task_name`` and ``suite`` are reporting metadata (shown by
+        ``repro cache stats``), not part of the content key.
+        """
         entry = {
             "schema": CACHE_SCHEMA_VERSION,
             "code": __version__,
             "task": task_name,
+            "suite": suite,
             "payload": payload,
         }
         try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            descriptor, temp_path = tempfile.mkstemp(
-                dir=self.directory, prefix=".cache-", suffix=".tmp"
-            )
-            try:
-                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                    json.dump(entry, handle, sort_keys=True)
-                os.replace(temp_path, self._path(key))
-            except BaseException:
-                try:
-                    os.unlink(temp_path)
-                except OSError:
-                    pass
-                raise
+            data = json.dumps(entry, sort_keys=True).encode("utf-8")
+            self.storage.write(key, data)
         except (OSError, TypeError, ValueError):
             # A broken cache must never break the analysis run.
             return
@@ -140,29 +173,44 @@ class ResultCache:
     def clear(self) -> int:
         """Delete all entries; returns how many were removed."""
         removed = 0
-        if not self.directory.is_dir():
-            return removed
-        for path in self.directory.glob("*.json"):
-            try:
-                path.unlink()
+        for name in list(self.storage.names()):
+            if self.storage.delete(name):
                 removed += 1
-            except OSError:
-                pass
         return removed
 
-    def stats(self) -> dict[str, Any]:
-        """Entry count and total size of the cache directory."""
+    def stats(self, per_suite: bool = True) -> dict[str, Any]:
+        """Entry count, total size, and per-suite breakdown of the cache.
+
+        The ``suites`` mapping counts entries by the suite that produced
+        them; entries recorded outside any suite (``repro analyze``, the
+        service) or predating the suite metadata appear under ``"(none)"``.
+        The breakdown requires reading every entry, so hot-path callers
+        (the service's ``/stats`` route) pass ``per_suite=False`` to get
+        the counters from file metadata alone.
+        """
         entries = 0
         size = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                try:
-                    size += path.stat().st_size
-                    entries += 1
-                except OSError:
-                    pass
-        return {
-            "directory": str(self.directory),
+        suites: dict[str, int] = {}
+        for name in self.storage.names():
+            entries += 1
+            if not per_suite:
+                size += self.storage.size_of(name)
+                continue
+            data = self.storage.read(name)
+            if data is None:
+                continue
+            size += len(data)
+            try:
+                entry = json.loads(data.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                entry = None
+            suite = (entry or {}).get("suite") or "(none)"
+            suites[suite] = suites.get(suite, 0) + 1
+        stats: dict[str, Any] = {
+            "directory": self.storage.location(),
             "entries": entries,
             "bytes": size,
         }
+        if per_suite:
+            stats["suites"] = dict(sorted(suites.items()))
+        return stats

@@ -15,10 +15,16 @@ __all__ = [
     "FULL_BENCH_ENV",
     "CACHE_DIR_ENV",
     "NO_CACHE_ENV",
+    "DEFAULT_SERVICE_PORT",
     "full_bench_enabled",
     "cache_enabled",
     "default_cache_directory",
 ]
+
+#: Default TCP port of ``repro serve`` (CHORA was published at PLDI 2020).
+#: Lives here — not in :mod:`repro.service` — so the CLI parser can show it
+#: without importing the service (and http.server) on every invocation.
+DEFAULT_SERVICE_PORT = 8734
 
 #: Set to ``1`` to include the slowest benchmarks (strassen, qsort_steps,
 #: closest_pair, ackermann, the full Fig.-3 sweep), which take minutes each

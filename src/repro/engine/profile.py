@@ -40,6 +40,7 @@ __all__ = [
     "append_entry",
     "bench_path",
     "compare_entries",
+    "engine_comparison_entry",
     "load_entries",
     "micro_entry",
     "run_micro_benchmarks",
@@ -114,6 +115,83 @@ def suite_entry_record(
             for result in results
         ],
         "totals": summarize_batch(results),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Cold-engine vs warm-worker comparison (the analysis service's raison
+# d'être, recorded next to the other perf history)
+# ---------------------------------------------------------------------- #
+def engine_comparison_entry(
+    suite: str,
+    label: str = "",
+    repeats: int = 2,
+    full: bool = False,
+) -> dict[str, Any]:
+    """A perf entry comparing cold per-task analysis to warm-worker serving.
+
+    For every benchmark of ``suite`` three timings are recorded as rows:
+
+    * ``<name>/cold`` — one in-process :func:`execute_task` run starting
+      from cold memo tables (what each forked batch worker pays);
+    * ``<name>/warm-first`` — the first request through a
+      :class:`~repro.service.pool.WorkerPool` worker (builds the worker's
+      incremental summary store);
+    * ``<name>/warm-repeat`` — the best of ``repeats`` repeated requests
+      for the same program, where the worker splices every cached
+      procedure summary (the service's steady state).
+
+    The entry is informational (CI records it as a non-gating artifact):
+    absolute times differ per machine, but ``warm-repeat`` being far below
+    ``cold`` is the property ``repro serve`` exists for.
+    """
+    from ..core import ChoraOptions
+    from ..service import WorkerPool
+    from .suites import suite_tasks
+    from .tasks import execute_task
+
+    tasks = suite_tasks(suite, full)
+    rows: list[dict[str, Any]] = []
+    totals = {"cold": 0.0, "warm_first": 0.0, "warm_repeat": 0.0}
+    # Exactly one worker: warmth is per-process, so a larger pool would
+    # route repeat requests to workers that never saw the program and
+    # record cold runs under the warm-repeat label.
+    with WorkerPool(workers=1, cache=None) as pool:
+        for task in tasks:
+            started = time.perf_counter()
+            execute_task(task, ChoraOptions())
+            cold = time.perf_counter() - started
+            warm_first = pool.submit(task).wall_time
+            warm_repeat = min(
+                pool.submit(task).wall_time for _ in range(max(1, repeats))
+            )
+            rows.append({"name": f"{task.name}/cold", "seconds": round(cold, 5)})
+            rows.append(
+                {"name": f"{task.name}/warm-first", "seconds": round(warm_first, 5)}
+            )
+            rows.append(
+                {"name": f"{task.name}/warm-repeat", "seconds": round(warm_repeat, 5)}
+            )
+            totals["cold"] += cold
+            totals["warm_first"] += warm_first
+            totals["warm_repeat"] += warm_repeat
+    speedup = (
+        totals["cold"] / totals["warm_repeat"] if totals["warm_repeat"] else None
+    )
+    return {
+        "kind": "engines",
+        "suite": suite,
+        "label": label,
+        "created": _timestamp(),
+        "workers": 1,
+        "repeats": repeats,
+        "rows": rows,
+        "totals": {
+            "cold": round(totals["cold"], 5),
+            "warm_first": round(totals["warm_first"], 5),
+            "warm_repeat": round(totals["warm_repeat"], 5),
+            "warm_over_cold_speedup": round(speedup, 2) if speedup else None,
+        },
     }
 
 

@@ -42,6 +42,7 @@ __all__ = [
     "execute_task",
     "register_kind",
     "registered_kinds",
+    "set_program_analyzer",
 ]
 
 
@@ -98,6 +99,30 @@ class AnalysisTask:
 KindRunner = Callable[[AnalysisTask, ChoraOptions], dict]
 
 _KIND_RUNNERS: dict[str, KindRunner] = {}
+
+#: Replacement for :func:`~repro.core.analyze_program` in CHORA-native kinds,
+#: or ``None`` for the default.  The warm analysis service installs an
+#: :class:`~repro.core.incremental.IncrementalAnalyzer` here so repeated and
+#: lightly-edited programs splice cached procedure summaries.
+_PROGRAM_ANALYZER: Optional[Callable] = None
+
+
+def set_program_analyzer(analyzer: Optional[Callable]) -> Optional[Callable]:
+    """Install (or, with ``None``, remove) the program-analysis override.
+
+    Returns the previous override so callers can restore it.  The override
+    applies to the ``analyze`` / ``assertion`` / ``complexity`` kinds, which
+    run CHORA itself; the baseline kinds are never redirected.
+    """
+    global _PROGRAM_ANALYZER
+    previous = _PROGRAM_ANALYZER
+    _PROGRAM_ANALYZER = analyzer
+    return previous
+
+
+def _analyze(program, options: ChoraOptions) -> AnalysisResult:
+    analyzer = _PROGRAM_ANALYZER or analyze_program
+    return analyzer(program, options)
 
 
 def register_kind(name: str) -> Callable[[KindRunner], KindRunner]:
@@ -172,7 +197,7 @@ def _bound_payload(result: AnalysisResult, task: AnalysisTask) -> dict:
 
 @register_kind("complexity")
 def _run_complexity(task: AnalysisTask, options: ChoraOptions) -> dict:
-    result = analyze_program(parse_program(task.source), options)
+    result = _analyze(parse_program(task.source), options)
     return _bound_payload(result, task)
 
 
@@ -184,7 +209,7 @@ def _run_complexity_icra(task: AnalysisTask, options: ChoraOptions) -> dict:
 
 @register_kind("assertion")
 def _run_assertion(task: AnalysisTask, options: ChoraOptions) -> dict:
-    result = analyze_program(parse_program(task.source), options)
+    result = _analyze(parse_program(task.source), options)
     return _assertion_payload(check_assertions(result, options.abstraction))
 
 
@@ -206,7 +231,7 @@ def _run_assertion_unrolling(task: AnalysisTask, options: ChoraOptions) -> dict:
 
 @register_kind("analyze")
 def _run_analyze(task: AnalysisTask, options: ChoraOptions) -> dict:
-    result = analyze_program(parse_program(task.source), options)
+    result = _analyze(parse_program(task.source), options)
     payload: dict[str, Any] = {
         "summaries": {name: str(summary) for name, summary in result.summaries.items()},
     }

@@ -25,6 +25,7 @@ from .cfg import (
     hoist_calls_in_procedure,
 )
 from .callgraph import CallGraph, build_call_graph
+from .fingerprint import fingerprint_cone, procedure_fingerprints
 from .interp import (
     AssertionFailure,
     ExecutionLimitExceeded,
@@ -52,6 +53,8 @@ __all__ = [
     "hoist_calls_in_procedure",
     "CallGraph",
     "build_call_graph",
+    "fingerprint_cone",
+    "procedure_fingerprints",
     "AssertionFailure",
     "ExecutionLimitExceeded",
     "ExecutionResult",

@@ -1,0 +1,100 @@
+"""Content fingerprints of procedures, for incremental re-analysis.
+
+A procedure's summary depends on exactly three things: its own definition,
+the global declarations in scope, and the summaries of the (defined)
+procedures it calls.  This module distils that dependency cone into one
+SHA-256 hex digest per procedure — the *fingerprint* — such that
+
+* editing a procedure body changes its own fingerprint and the fingerprint
+  of every direct and transitive **caller** (their cones include it), while
+* every procedure outside the edited one's caller cone keeps its
+  fingerprint, so a cached summary for it can be reused verbatim.
+
+Mutually recursive procedures are summarized together (one SCC of the call
+graph is one unit of analysis, §4 of the paper), so all members of an SCC
+share the same fingerprint material: editing any member invalidates the
+whole component.
+
+Fingerprints are pure functions of the parsed AST — host-, process- and
+ordering-independent — which makes them safe to use as cache keys shared
+between machines, mirroring the engine's content-addressed result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from . import ast
+from .callgraph import build_call_graph
+
+__all__ = ["procedure_fingerprints", "fingerprint_cone"]
+
+
+def _sha256(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _body_hashes(program: ast.Program) -> dict[str, str]:
+    """Hash of each procedure's own definition (plus the globals in scope).
+
+    The AST nodes are frozen dataclasses, so ``repr`` is a canonical,
+    whitespace- and comment-insensitive serialization of the definition.
+    The global declarations are folded into every hash because they name
+    the variables a summary ranges over.
+    """
+    globals_material = repr(program.globals)
+    return {
+        procedure.name: _sha256(globals_material, repr(procedure))
+        for procedure in program.procedures
+    }
+
+
+def procedure_fingerprints(program: ast.Program) -> dict[str, str]:
+    """The fingerprint of every procedure of ``program``.
+
+    Fingerprints are computed over the call-graph SCC DAG in dependency
+    order: an SCC's material is the sorted ``(name, body hash)`` pairs of
+    its members plus the sorted fingerprints of the procedures it calls
+    outside the component — so a fingerprint transitively covers the whole
+    dependency cone of its procedure.
+    """
+    graph = build_call_graph(program)
+    own = _body_hashes(program)
+    fingerprints: dict[str, str] = {}
+    for component in graph.strongly_connected_components():
+        members = set(component)
+        material = [f"{name}={own[name]}" for name in sorted(members)]
+        external = sorted(
+            {
+                fingerprints[callee]
+                for name in members
+                for callee in graph.callees(name)
+                if callee not in members
+            }
+        )
+        component_print = _sha256(*material, *external)
+        for name in component:
+            # Members of one SCC are analysed together and share material;
+            # the name salt keeps per-procedure keys distinct.
+            fingerprints[name] = _sha256(component_print, name)
+    return fingerprints
+
+
+def fingerprint_cone(
+    before: dict[str, str], after: dict[str, str]
+) -> tuple[frozenset[str], frozenset[str]]:
+    """Split ``after``'s procedures into (changed cone, reusable rest).
+
+    A procedure is *changed* when it is new or its fingerprint differs from
+    ``before``; by construction of :func:`procedure_fingerprints` the
+    changed set is closed under "is called by" — it is exactly the edited
+    procedures' caller cone.
+    """
+    changed = frozenset(
+        name for name, print_ in after.items() if before.get(name) != print_
+    )
+    return changed, frozenset(after) - changed

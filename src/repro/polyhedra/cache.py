@@ -20,8 +20,9 @@ function of its canonical key.
 
 from __future__ import annotations
 
+import contextlib
 from collections import OrderedDict
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
 from ..formulas.symbols import Symbol
 from .constraint import LinearConstraint
@@ -32,6 +33,7 @@ __all__ = [
     "canonical_system",
     "clear_caches",
     "cache_stats",
+    "keep_warm",
     "register_cache",
 ]
 
@@ -95,10 +97,39 @@ def register_cache(name: str, capacity: int = DEFAULT_CAPACITY) -> MemoCache:
     return cache
 
 
-def clear_caches() -> None:
-    """Empty every registered memo table (between tasks, and in tests)."""
+#: Depth of active :func:`keep_warm` scopes; non-zero suppresses clearing.
+_WARM_DEPTH = 0
+
+
+def clear_caches(force: bool = False) -> None:
+    """Empty every registered memo table (between tasks, and in tests).
+
+    Inside a :func:`keep_warm` scope this is a no-op unless ``force`` is
+    given, so code written for cold-per-task semantics (the batch engine's
+    :func:`~repro.engine.tasks.execute_task`) can run unchanged in a warm
+    worker without dropping its tables.
+    """
+    if _WARM_DEPTH and not force:
+        return
     for cache in _REGISTRY.values():
         cache.clear()
+
+
+@contextlib.contextmanager
+def keep_warm() -> Iterator[None]:
+    """Persistence hook for long-lived workers: keep memo tables across tasks.
+
+    While the scope is active, :func:`clear_caches` keeps the tables (they
+    stay bounded by their FIFO capacity, so a warm worker cannot grow them
+    without limit).  Memoized queries are pure functions of their canonical
+    keys, so a warm table changes latency, never results.
+    """
+    global _WARM_DEPTH
+    _WARM_DEPTH += 1
+    try:
+        yield
+    finally:
+        _WARM_DEPTH -= 1
 
 
 def cache_stats() -> dict[str, dict[str, int]]:

@@ -1,5 +1,15 @@
-"""Recurrence solving: exponential-polynomial closed forms for C-finite and
-stratified polynomial recurrence systems (Defn. 3.1 / 3.2 of the paper)."""
+"""Recurrence solving: exponential-polynomial closed forms.
+
+The layer's contract: given a C-finite recurrence system (Defn. 3.1) or a
+stratified system of polynomial recurrence inequations (Defn. 3.2, the
+output of Alg. 3's candidate stratification), produce
+:class:`~repro.recurrence.exppoly.ExpPoly` closed forms — sums of
+``c * n^k * r^n`` terms with exact rational coefficients — or raise
+:class:`RecurrenceSolvingError`.  Everything here is pure symbolic
+mathematics over sympy: no knowledge of programs, formulas or polyhedra;
+callers (:mod:`repro.analysis` for loops, :mod:`repro.core` for recursion
+heights) translate between program quantities and recurrence variables.
+"""
 
 from .exppoly import ExpPoly
 from .cfinite import (

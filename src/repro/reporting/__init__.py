@@ -1,4 +1,13 @@
-"""Rendering of evaluation artefacts: Table 1/2 rows and the Fig. 3 cactus series."""
+"""Rendering of evaluation artefacts: tables and cactus plots.
+
+The layer's contract: turn sequences of result records (paper-reported
+values from :mod:`repro.benchlib`, fresh
+:class:`~repro.engine.batch.BatchResult` records from the engine) into
+deterministic text artefacts — the Table 1 / Table 2 renderings
+(:func:`render_table1` / :func:`render_table2`, pinned by golden tests),
+the Fig. 3 cactus series, and the plain :func:`format_table` used by the
+CLI.  Pure formatting: nothing here runs an analysis or touches disk.
+"""
 
 from .cactus import CactusSeries, build_series, render_csv, render_text
 from .tables import format_table, render_table1, render_table2

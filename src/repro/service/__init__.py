@@ -1,0 +1,28 @@
+"""The warm analysis service: long-lived workers serving analysis requests.
+
+The batch engine (:mod:`repro.engine`) forks one process per task: perfect
+isolation, but every task pays process start-up and runs with cold memo
+tables.  This package provides the *serving* counterpart for request-level
+traffic:
+
+* :class:`~repro.service.pool.WorkerPool` — a pool of **warm worker
+  processes**.  Each worker imports sympy and the analysis code once, keeps
+  the polyhedral memo caches hot across requests
+  (:func:`repro.polyhedra.cache.keep_warm`), and runs CHORA through an
+  :class:`~repro.core.incremental.IncrementalAnalyzer`, so a repeated or
+  lightly-edited program re-analyses only the procedures whose fingerprints
+  changed.  Per-request timeout and crash isolation match the batch engine:
+  a hung or dying worker is replaced, never the service.
+* :class:`~repro.service.server.AnalysisServer` — a local HTTP endpoint
+  (``repro serve``) accepting program source and returning exactly the JSON
+  records ``repro analyze --json`` prints, plus ``/healthz`` and ``/stats``.
+
+Results are indistinguishable from the cold engine's up to fresh-symbol
+numbering: every warm structure (memo tables, spliced summaries) is keyed
+on content and pure, so warmth changes latency, never verdicts.
+"""
+
+from .pool import PoolStats, WorkerPool
+from .server import AnalysisServer, serve
+
+__all__ = ["WorkerPool", "PoolStats", "AnalysisServer", "serve"]

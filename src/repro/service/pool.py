@@ -1,0 +1,399 @@
+"""A pool of warm, long-lived analysis worker processes.
+
+Each worker is a child process running :func:`_worker_main`: a loop that
+receives :class:`~repro.engine.tasks.AnalysisTask` objects over a pipe,
+executes them with **warm state** — the polyhedral memo tables are kept
+across requests (:func:`repro.polyhedra.cache.keep_warm`) and CHORA runs
+through a per-worker :class:`~repro.core.incremental.IncrementalAnalyzer`
+that splices cached procedure summaries — and reports the same payload
+dicts the batch engine's cold workers produce.
+
+The parent hands a request to exactly one idle worker at a time (a worker's
+pipe is never shared between two in-flight requests), so the pool is safe
+to drive from multiple threads: the HTTP server checks workers out of an
+idle queue, and :meth:`WorkerPool.run` fans a task list out over them.
+
+Failure handling mirrors the batch engine: a request that overruns the
+deadline gets a ``timeout`` result and its worker is killed and replaced; a
+worker that dies mid-request yields a ``crash`` result and is replaced; an
+exception inside the analysis yields an ``error`` result and the worker
+stays (its state is still consistent — warm tables are content-keyed and
+never partially updated).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..core import ChoraOptions
+from ..engine.batch import BatchResult
+from ..engine.cache import ResultCache
+from ..engine.tasks import AnalysisTask, execute_task, set_program_analyzer
+
+__all__ = ["WorkerPool", "PoolStats"]
+
+
+def _worker_main(connection, options: ChoraOptions) -> None:
+    """Entry point of one warm worker: serve requests until told to stop."""
+    from ..core import IncrementalAnalyzer, IncrementalReport
+    from ..polyhedra.cache import keep_warm
+
+    analyzer = IncrementalAnalyzer()
+    previous = set_program_analyzer(analyzer.analyze)
+    requests = 0
+    try:
+        # Tell the parent start-up is done (imports paid), so request
+        # deadlines measure analysis time, not spawn time.
+        connection.send(("ready", None, {}))
+        with keep_warm():
+            while True:
+                try:
+                    message = connection.recv()
+                except (EOFError, OSError):
+                    break
+                if message is None:
+                    break
+                requests += 1
+                started = time.perf_counter()
+                # Reset so kinds that never run CHORA (the baselines) don't
+                # report the previous request's splice counts.
+                analyzer.last_report = IncrementalReport()
+                try:
+                    payload = execute_task(message, options)
+                    meta = {
+                        "worker_seconds": round(time.perf_counter() - started, 4),
+                        "requests": requests,
+                        "incremental": analyzer.last_report.to_dict(),
+                    }
+                    connection.send(("ok", payload, meta))
+                except BaseException:
+                    meta = {
+                        "worker_seconds": round(time.perf_counter() - started, 4),
+                        "requests": requests,
+                    }
+                    connection.send(
+                        ("error", traceback.format_exc(limit=20), meta)
+                    )
+    finally:
+        set_program_analyzer(previous)
+        connection.close()
+
+
+class _WarmWorker:
+    """Parent-side handle of one warm worker process."""
+
+    __slots__ = ("process", "connection", "served", "ready")
+
+    #: Ceiling on worker start-up (interpreter + sympy import for spawned
+    #: replacements); forked workers signal readiness in milliseconds.
+    STARTUP_TIMEOUT = 300.0
+
+    def __init__(self, context, options: ChoraOptions):
+        parent_end, child_end = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main, args=(child_end, options), daemon=True
+        )
+        self.process.start()
+        child_end.close()
+        self.connection = parent_end
+        self.served = 0
+        self.ready = False
+
+    def _await_ready(self) -> None:
+        """Consume the start-up handshake (once per worker lifetime)."""
+        deadline = time.monotonic() + self.STARTUP_TIMEOUT
+        while not self.connection.poll(0.05):
+            if not self.process.is_alive() and not self.connection.poll(0):
+                raise ConnectionError(
+                    f"worker exited with code {self.process.exitcode}"
+                    " during start-up"
+                )
+            if time.monotonic() >= deadline:  # pragma: no cover - 5 min
+                raise ConnectionError("worker start-up timed out")
+        try:
+            message = self.connection.recv()
+        except (EOFError, OSError) as error:
+            raise ConnectionError("worker died during start-up") from error
+        if not (isinstance(message, tuple) and message[0] == "ready"):
+            raise ConnectionError(f"unexpected start-up message {message!r}")
+        self.ready = True
+
+    def request(self, task: AnalysisTask, timeout: Optional[float]):
+        """Send one task and wait for its reply.
+
+        Returns the worker's ``(status, body, meta)`` triple; raises
+        ``TimeoutError`` on deadline overrun and ``ConnectionError`` when
+        the worker died without replying.  After either exception the
+        worker is unusable and must be replaced.  The per-request deadline
+        starts only once the worker has finished starting up.
+        """
+        if not self.ready:
+            self._await_ready()
+        self.connection.send(task)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait = 0.05 if deadline is None else min(0.05, deadline - time.monotonic())
+            if self.connection.poll(max(wait, 0)):
+                try:
+                    reply = self.connection.recv()
+                except (EOFError, OSError) as error:
+                    self.process.join(1)
+                    raise ConnectionError(
+                        "worker died mid-request"
+                        f" (exit code {self.process.exitcode})"
+                    ) from error
+                self.served += 1
+                return reply
+            if not self.process.is_alive():
+                # One final poll: the reply may have raced the exit.
+                if self.connection.poll(0):
+                    continue
+                raise ConnectionError(
+                    f"worker exited with code {self.process.exitcode}"
+                    " without reporting a result"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError
+
+    def stop(self) -> None:
+        """Ask the worker to exit cleanly; escalate if it does not."""
+        try:
+            self.connection.send(None)
+        except (OSError, ValueError):
+            pass
+        self.process.join(1)
+        self.kill()
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(5)
+            if self.process.is_alive():  # pragma: no cover - stubborn worker
+                self.process.kill()
+                self.process.join()
+        self.connection.close()
+
+
+@dataclass
+class PoolStats:
+    """Mutable counters of one :class:`WorkerPool`'s lifetime."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    #: procedures spliced vs re-analysed by the workers' incremental stores.
+    procedures_reused: int = 0
+    procedures_analyzed: int = 0
+    started: float = field(default_factory=time.time)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "procedures_reused": self.procedures_reused,
+            "procedures_analyzed": self.procedures_analyzed,
+            "uptime_seconds": round(time.time() - self.started, 1),
+        }
+
+
+class WorkerPool:
+    """Serve analysis tasks from a pool of warm worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of long-lived worker processes.
+    timeout:
+        Per-request deadline in seconds (``None`` disables it).
+    options:
+        The :class:`ChoraOptions` every request is analysed under.
+    cache:
+        An optional shared :class:`ResultCache` consulted before a worker
+        is engaged and populated after it answers — the same content keys
+        the batch engine uses, so the service and batch runs share results.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        timeout: Optional[float] = None,
+        options: ChoraOptions = ChoraOptions(),
+        cache: Optional[ResultCache] = None,
+    ):
+        self.workers = max(1, int(workers))
+        self.timeout = timeout
+        self.options = options
+        self.cache = cache
+        self.stats = PoolStats()
+        methods = multiprocessing.get_all_start_methods()
+        # Fork shares the parent's warm module state (sympy, parsed code)
+        # with every worker at no per-request cost.
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._stats_lock = threading.Lock()
+        self._idle: "queue.Queue[_WarmWorker]" = queue.Queue()
+        self._all: list[_WarmWorker] = []
+        self._closed = False
+        for _ in range(self.workers):
+            self._add_worker()
+
+    # ------------------------------------------------------------------ #
+    def _add_worker(self, context=None) -> None:
+        worker = _WarmWorker(context or self._context, self.options)
+        self._all.append(worker)
+        self._idle.put(worker)
+
+    def _replace(self, worker: _WarmWorker) -> None:
+        worker.kill()
+        self._all.remove(worker)
+        with self._stats_lock:
+            self.stats.restarts += 1
+        # Replacements happen while request threads are live (the HTTP
+        # server, run()'s executor), and forking a multithreaded process
+        # can deadlock the child.  Spawn instead: the replacement pays a
+        # one-off interpreter + import start-up — acceptable on the
+        # exceptional timeout/crash path — and serves warm thereafter.
+        self._add_worker(multiprocessing.get_context("spawn"))
+
+    # ------------------------------------------------------------------ #
+    def submit(self, task: AnalysisTask) -> BatchResult:
+        """Run one task on a warm worker and return its result record.
+
+        Thread-safe; blocks while every worker is busy.  The record has
+        exactly the shape the batch engine produces, so callers (the HTTP
+        server, ``repro bench --engine warm``) are engine-agnostic.
+        """
+        if self._closed:
+            raise RuntimeError("the worker pool is closed")
+        with self._stats_lock:
+            self.stats.requests += 1
+        key = self.cache.key(task, self.options) if self.cache else None
+        if key is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                with self._stats_lock:
+                    self.stats.cache_hits += 1
+                return self._ok_result(task, payload, 0.0, cache_hit=True)
+
+        worker = self._idle.get()
+        started = time.monotonic()
+        try:
+            status, body, meta = worker.request(task, self.timeout)
+        except TimeoutError:
+            elapsed = time.monotonic() - started
+            self._replace(worker)
+            with self._stats_lock:
+                self.stats.timeouts += 1
+            return self._failed_result(
+                task, "timeout", elapsed, f"exceeded the {self.timeout:g}s deadline"
+            )
+        except ConnectionError as error:
+            elapsed = time.monotonic() - started
+            self._replace(worker)
+            with self._stats_lock:
+                self.stats.crashes += 1
+            return self._failed_result(task, "crash", elapsed, str(error))
+        else:
+            self._idle.put(worker)
+        elapsed = time.monotonic() - started
+        self._absorb_meta(meta)
+        if status != "ok":
+            with self._stats_lock:
+                self.stats.errors += 1
+            return self._failed_result(task, "error", elapsed, str(body))
+        if key is not None and self.cache is not None:
+            self.cache.put(key, body, task_name=task.name, suite=task.suite)
+        return self._ok_result(task, body, elapsed, cache_hit=False)
+
+    def run(
+        self,
+        tasks: Sequence[AnalysisTask],
+        progress: Optional[Callable[[BatchResult], None]] = None,
+    ) -> list[BatchResult]:
+        """Run a batch over the warm pool; results come back in task order."""
+        results: list[Optional[BatchResult]] = [None] * len(tasks)
+
+        def work(index: int) -> None:
+            result = self.submit(tasks[index])
+            results[index] = result
+            if progress is not None:
+                progress(result)
+
+        with ThreadPoolExecutor(max_workers=self.workers) as executor:
+            for future in [executor.submit(work, i) for i in range(len(tasks))]:
+                future.result()
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------ #
+    def _absorb_meta(self, meta: dict) -> None:
+        incremental = meta.get("incremental") or {}
+        with self._stats_lock:
+            self.stats.procedures_reused += len(incremental.get("reused", ()))
+            self.stats.procedures_analyzed += len(incremental.get("analyzed", ()))
+
+    @staticmethod
+    def _ok_result(
+        task: AnalysisTask, payload: dict, wall_time: float, cache_hit: bool
+    ) -> BatchResult:
+        return BatchResult(
+            name=task.name,
+            kind=task.kind,
+            outcome="ok",
+            wall_time=wall_time,
+            cache_hit=cache_hit,
+            suite=task.suite,
+            proved=payload.get("proved"),
+            bound=payload.get("bound"),
+            payload=payload,
+        )
+
+    @staticmethod
+    def _failed_result(
+        task: AnalysisTask, outcome: str, wall_time: float, detail: str
+    ) -> BatchResult:
+        return BatchResult(
+            name=task.name,
+            kind=task.kind,
+            outcome=outcome,
+            wall_time=wall_time,
+            suite=task.suite,
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------ #
+    def stats_dict(self) -> dict[str, Any]:
+        """A JSON-ready snapshot of the pool's counters."""
+        with self._stats_lock:
+            snapshot = self.stats.to_dict()
+        snapshot["workers"] = self.workers
+        return snapshot
+
+    def close(self) -> None:
+        """Stop every worker; the pool cannot be used afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._all:
+            worker.stop()
+        self._all.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,182 @@
+"""The ``repro serve`` HTTP endpoint in front of a warm worker pool.
+
+A deliberately small, dependency-free server (``http.server`` from the
+standard library, threaded so slow analyses don't block health checks):
+
+``POST /analyze``
+    Body: a JSON object ``{"source": "...", "procedure": null,
+    "cost_variable": "cost", "substitutions": {"n": 8}, "kind":
+    "analyze"}`` — everything but ``source`` optional — or the raw program
+    text itself (``Content-Type: text/plain``).  The response is the same
+    JSON record ``repro analyze --json`` prints
+    (:meth:`repro.engine.batch.BatchResult.to_dict`), with HTTP 200 even
+    for ``error``/``timeout`` outcomes: the record *is* the result.
+``GET /healthz``
+    Liveness: ``{"status": "ok", "workers": N}``.
+``GET /stats``
+    Pool counters (requests, cache hits, incremental splice totals,
+    restarts) plus the result-cache stats when a cache is attached.
+
+Malformed requests get 400 with ``{"error": ...}``; unknown paths 404.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping, Optional
+
+from ..engine.cache import ResultCache
+from ..engine.config import DEFAULT_SERVICE_PORT as DEFAULT_PORT
+from ..engine.tasks import AnalysisTask
+from .pool import WorkerPool
+
+__all__ = ["AnalysisServer", "serve", "task_from_request", "DEFAULT_PORT"]
+
+
+def task_from_request(body: bytes, content_type: str) -> AnalysisTask:
+    """Build the analysis task one ``POST /analyze`` request describes.
+
+    Raises ``ValueError`` on malformed bodies; the error text is what the
+    400 response carries.
+    """
+    if content_type.startswith("text/plain"):
+        data: Mapping[str, Any] = {"source": body.decode("utf-8", "replace")}
+    else:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+    source = data.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ValueError('"source" must be a non-empty string of program text')
+    kind = data.get("kind", "analyze")
+    if not isinstance(kind, str):
+        raise ValueError('"kind" must be a string')
+    substitutions = data.get("substitutions") or {}
+    if isinstance(substitutions, Mapping):
+        pairs = substitutions.items()
+    elif isinstance(substitutions, (list, tuple)):
+        pairs = substitutions
+    else:
+        raise ValueError('"substitutions" must be an object or a pair list')
+    try:
+        normalized = tuple(sorted((str(name), int(value)) for name, value in pairs))
+    except (TypeError, ValueError):
+        raise ValueError('"substitutions" values must be integers') from None
+    return AnalysisTask(
+        name=str(data.get("name", "request")),
+        source=source,
+        kind=kind,
+        procedure=data.get("procedure"),
+        cost_variable=str(data.get("cost_variable", "cost")),
+        substitutions=normalized,
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`AnalysisServer`."""
+
+    # The server attribute is the ThreadingHTTPServer; its ``app`` field is
+    # set by AnalysisServer before serving starts.
+    server_version = "repro-serve/1"
+
+    @property
+    def app(self) -> "AnalysisServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.app.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, document: Mapping[str, Any]) -> None:
+        data = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(
+                200, {"status": "ok", "workers": self.app.pool.workers}
+            )
+        elif self.path == "/stats":
+            self._send_json(200, self.app.stats())
+        else:
+            self._send_json(404, {"error": f"no such path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/analyze":
+            self._send_json(404, {"error": f"no such path {self.path!r}"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        try:
+            task = task_from_request(
+                body, self.headers.get("Content-Type", "application/json")
+            )
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        result = self.app.pool.submit(task)
+        self._send_json(200, result.to_dict())
+
+
+class AnalysisServer:
+    """An HTTP front-end over a :class:`WorkerPool` (see module docstring)."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        cache: Optional[ResultCache] = None,
+        verbose: bool = False,
+    ):
+        self.pool = pool
+        self.cache = cache if cache is not None else pool.cache
+        self.verbose = verbose
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.app = self  # type: ignore[attr-defined]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — port resolved even when 0 was asked."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def stats(self) -> dict[str, Any]:
+        document: dict[str, Any] = {"pool": self.pool.stats_dict()}
+        if self.cache is not None:
+            # Counters only: the per-suite breakdown re-reads every entry,
+            # too costly for a polled monitoring route on a shared cache.
+            document["result_cache"] = self.cache.stats(per_suite=False)
+        return document
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (or interrupt)."""
+        self._httpd.serve_forever(poll_interval=0.2)
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+
+    def close(self) -> None:
+        self._httpd.server_close()
+        self.pool.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    workers: int = 2,
+    timeout: Optional[float] = None,
+    cache: Optional[ResultCache] = None,
+    verbose: bool = False,
+) -> AnalysisServer:
+    """Build a ready-to-run server (the CLI calls ``serve_forever`` on it)."""
+    pool = WorkerPool(workers=workers, timeout=timeout, cache=cache)
+    return AnalysisServer(pool, host=host, port=port, verbose=verbose)

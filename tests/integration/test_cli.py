@@ -78,9 +78,29 @@ class TestFastCommands:
         code, out, _ = run_cli(capsys, "cache", "stats", "--cache-dir", str(tmp_path))
         assert code == 0
         assert "0 entries" in out
+        # The directory is always reported, even for an empty cache.
+        assert str(tmp_path) in out
         code, out, _ = run_cli(capsys, "cache", "clear", "--cache-dir", str(tmp_path))
         assert code == 0
         assert "removed 0" in out
+
+    def test_cache_stats_reports_per_suite_counts(self, capsys, tmp_path):
+        from repro.engine import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, {"proved": True}, task_name="x", suite="table2")
+        cache.put("b" * 64, {"proved": True}, task_name="y", suite="table2")
+        cache.put("c" * 64, {"proved": True}, task_name="z")
+        code, out, _ = run_cli(capsys, "cache", "stats", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert str(tmp_path) in out
+        assert "3 entries" in out
+        assert "table2: 2" in out
+        assert "(none): 1" in out
+        # The cheap variant (used by the service's /stats route) keeps the
+        # counters but skips the per-entry reads.
+        cheap = cache.stats(per_suite=False)
+        assert cheap["entries"] == 3 and "suites" not in cheap
 
     def test_module_entry_point(self, tmp_path):
         src = Path(__file__).resolve().parents[2] / "src"

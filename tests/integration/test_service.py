@@ -1,0 +1,306 @@
+"""The warm analysis service: worker pool, HTTP endpoint, CLI integration.
+
+Covers the tentpole acceptance properties: warm workers answer repeated
+requests from spliced summaries (measurably below a cold run), results
+agree with the cold engine, failures replace workers without sinking the
+service, and ``repro bench --engine warm`` / ``--shard`` round-trip through
+the CLI.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.engine import AnalysisTask, BatchEngine, MemoryStorage, ResultCache
+from repro.engine.tasks import register_kind
+from repro.service import AnalysisServer, WorkerPool
+
+TRIVIAL = "int main(int n) { assume(n >= 0); int r = n + 1; assert(r >= 1); return r; }"
+
+CHAIN = """
+int leaf(int n) { assume(n >= 0); return n + 1; }
+int mid(int n) { assume(n >= 0); return leaf(n) + 1; }
+int main(int n) { assume(n >= 0); int r = mid(n); assert(r >= 2); return r; }
+"""
+
+
+@register_kind("service-sleep")
+def _service_sleep(task, options):
+    time.sleep(float(task.param("seconds", 60)))
+    return {"proved": True}
+
+
+@register_kind("service-exit")
+def _service_exit(task, options):
+    import os
+
+    os._exit(17)
+
+
+def run_cli(capsys, *argv: str):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestWorkerPool:
+    def test_results_match_the_cold_engine(self):
+        task = AnalysisTask(name="toy", source=TRIVIAL, kind="assertion")
+        cold = BatchEngine().run([task])[0]
+        with WorkerPool(workers=1) as pool:
+            warm = pool.submit(task)
+        assert warm.outcome == "ok"
+        assert warm.proved == cold.proved
+        assert dict(warm.payload) == dict(cold.payload)
+
+    def test_repeated_requests_splice_and_get_faster(self):
+        task = AnalysisTask(name="toy", source=CHAIN, kind="assertion")
+        with WorkerPool(workers=1) as pool:
+            first = pool.submit(task)
+            repeat = pool.submit(task)
+            stats = pool.stats_dict()
+        assert first.outcome == repeat.outcome == "ok"
+        assert first.proved == repeat.proved
+        # The repeat splices every summary: well below the from-scratch run.
+        assert repeat.wall_time < first.wall_time / 2
+        assert stats["procedures_reused"] >= 3
+
+    def test_edited_program_reuses_the_unchanged_procedures(self):
+        edited = CHAIN.replace("return leaf(n) + 1;", "return leaf(n) + 2;")
+        with WorkerPool(workers=1) as pool:
+            pool.submit(AnalysisTask(name="v1", source=CHAIN, kind="assertion"))
+            reused_before = pool.stats_dict()["procedures_reused"]
+            pool.submit(AnalysisTask(name="v2", source=edited, kind="assertion"))
+            reused_after = pool.stats_dict()["procedures_reused"]
+        assert reused_after > reused_before  # leaf was spliced, not re-run
+
+    def test_timeout_replaces_the_worker_and_keeps_serving(self):
+        with WorkerPool(workers=1, timeout=0.5) as pool:
+            hung = pool.submit(
+                AnalysisTask(
+                    name="hang",
+                    source="",
+                    kind="service-sleep",
+                    params=(("seconds", 60),),
+                )
+            )
+            assert hung.outcome == "timeout"
+            after = pool.submit(
+                AnalysisTask(name="toy", source=TRIVIAL, kind="assertion")
+            )
+            assert after.outcome == "ok"
+            assert pool.stats_dict()["restarts"] == 1
+
+    def test_worker_death_is_a_crash_not_a_hang(self):
+        with WorkerPool(workers=1) as pool:
+            dead = pool.submit(AnalysisTask(name="die", source="", kind="service-exit"))
+            assert dead.outcome == "crash"
+            assert "17" in dead.detail
+            after = pool.submit(
+                AnalysisTask(name="toy", source=TRIVIAL, kind="assertion")
+            )
+            assert after.outcome == "ok"
+
+    def test_analysis_error_keeps_the_worker(self):
+        with WorkerPool(workers=1) as pool:
+            bad = pool.submit(AnalysisTask(name="bad", source="int (", kind="analyze"))
+            assert bad.outcome == "error"
+            assert pool.stats_dict()["restarts"] == 0
+
+    def test_pool_uses_the_result_cache(self):
+        cache = ResultCache(storage=MemoryStorage())
+        task = AnalysisTask(name="toy", source=TRIVIAL, kind="assertion", suite="toy")
+        with WorkerPool(workers=1, cache=cache) as pool:
+            first = pool.submit(task)
+            second = pool.submit(task)
+        assert not first.cache_hit and second.cache_hit
+        assert dict(second.payload) == dict(first.payload)
+        assert cache.stats()["suites"] == {"toy": 1}
+
+    def test_run_preserves_task_order(self):
+        tasks = [
+            AnalysisTask(name=f"t{i}", source=TRIVIAL, kind="assertion")
+            for i in range(5)
+        ]
+        with WorkerPool(workers=2) as pool:
+            results = pool.run(tasks)
+        assert [result.name for result in results] == [task.name for task in tasks]
+
+
+class TestAnalysisServer:
+    @pytest.fixture()
+    def server(self):
+        pool = WorkerPool(workers=1)
+        server = AnalysisServer(pool, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.close()
+        thread.join(5)
+
+    def _post(self, server, document, content_type="application/json"):
+        host, port = server.address
+        data = (
+            document.encode("utf-8")
+            if isinstance(document, str)
+            else json.dumps(document).encode("utf-8")
+        )
+        request = urllib.request.Request(
+            f"http://{host}:{port}/analyze",
+            data=data,
+            headers={"Content-Type": content_type},
+        )
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return json.loads(response.read())
+
+    def _get(self, server, path):
+        host, port = server.address
+        with urllib.request.urlopen(
+            f"http://{host}:{port}{path}", timeout=30
+        ) as response:
+            return json.loads(response.read())
+
+    def test_analyze_returns_the_cli_json_record(self, server):
+        record = self._post(server, {"source": TRIVIAL})
+        assert record["outcome"] == "ok"
+        assert record["proved"] is True
+        assert set(record) >= {"name", "kind", "outcome", "payload", "wall_time"}
+        assert record["payload"]["assertions"][0]["proved"] is True
+
+    def test_repeated_requests_are_warm(self, server):
+        self._post(server, {"source": CHAIN})
+        started = time.perf_counter()
+        record = self._post(server, {"source": CHAIN})
+        elapsed = time.perf_counter() - started
+        assert record["outcome"] == "ok"
+        assert elapsed < 1.0  # cold analysis of CHAIN takes far longer
+        stats = self._get(server, "/stats")
+        assert stats["pool"]["procedures_reused"] >= 3
+
+    def test_plain_text_body_is_program_source(self, server):
+        record = self._post(server, TRIVIAL, content_type="text/plain")
+        assert record["outcome"] == "ok"
+
+    def test_healthz(self, server):
+        assert self._get(server, "/healthz") == {"status": "ok", "workers": 1}
+
+    def test_bad_requests_get_400(self, server):
+        host, port = server.address
+        for body in (b"{not json", b"{}", b'{"source": 3}'):
+            request = urllib.request.Request(
+                f"http://{host}:{port}/analyze",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as error:
+                urllib.request.urlopen(request, timeout=30)
+            assert error.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        host, port = server.address
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(f"http://{host}:{port}/nope", timeout=30)
+        assert error.value.code == 404
+
+
+class TestWarmEngineCli:
+    def test_bench_engine_warm_matches_pool_verdicts(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "bench",
+            "--suite",
+            "table2",
+            "--engine",
+            "warm",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(tmp_path / "warm"),
+            "--json",
+        )
+        assert code == 0
+        warm = json.loads(out)
+        code, out, _ = run_cli(
+            capsys,
+            "bench",
+            "--suite",
+            "table2",
+            "--cache-dir",
+            str(tmp_path / "cold"),
+            "--json",
+        )
+        assert code == 0
+        cold = json.loads(out)
+        assert warm["engine"] == "warm"
+        warm_verdicts = [
+            (r["name"], r["outcome"], r["proved"]) for r in warm["results"]
+        ]
+        cold_verdicts = [
+            (r["name"], r["outcome"], r["proved"]) for r in cold["results"]
+        ]
+        assert warm_verdicts == cold_verdicts
+
+    def test_shard_requires_a_cache(self, capsys):
+        code, _, err = run_cli(
+            capsys, "bench", "--suite", "table2", "--shard", "1/2", "--no-cache"
+        )
+        assert code == 2
+        assert "shared" in err
+
+    def test_bad_shard_spec(self, capsys):
+        code, _, err = run_cli(
+            capsys, "bench", "--suite", "table2", "--shard", "5/2"
+        )
+        assert code == 2
+        assert "shard" in err
+
+
+class TestShardCli:
+    def test_shards_reproduce_the_unsharded_suite(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "bench",
+            "--suite",
+            "table2",
+            "--cache-dir",
+            str(tmp_path / "reference"),
+            "--json",
+        )
+        assert code == 0
+        reference = json.loads(out)
+
+        shared = tmp_path / "shared"
+        views = []
+        for index in (1, 2):
+            code, out, _ = run_cli(
+                capsys,
+                "bench",
+                "--suite",
+                "table2",
+                "--shard",
+                f"{index}/2",
+                "--cache-dir",
+                str(shared),
+                "--json",
+            )
+            view = json.loads(out)
+            # Exit 3 = this shard succeeded but other shards' results are
+            # still pending in the shared store; 0 = merged suite complete.
+            assert code == (3 if view["totals"]["pending"] else 0)
+            views.append(view)
+
+        final = views[-1]
+        assert final["totals"]["pending"] == 0
+        assert [r["name"] for r in final["results"]] == [
+            r["name"] for r in reference["results"]
+        ]
+        for sharded, unsharded in zip(final["results"], reference["results"]):
+            assert sharded["outcome"] == unsharded["outcome"] == "ok"
+            assert sharded["proved"] == unsharded["proved"]
+            assert sharded["payload"] == unsharded["payload"]

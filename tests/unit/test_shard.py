@@ -1,0 +1,139 @@
+"""The deterministic suite-sharding partition and the shared-store merge.
+
+The contract tested here is what lets N machines act as one batch: the
+partition is a pure function of task content (deterministic across calls,
+orderings and hosts), every task lands on exactly one shard (disjoint +
+exhaustive), and merging foreign results from a shared cache reproduces the
+unsharded suite bit-identically once every shard has run.
+"""
+
+import pytest
+
+from repro.core import ChoraOptions
+from repro.engine import (
+    AnalysisTask,
+    BatchEngine,
+    MemoryStorage,
+    ResultCache,
+    suite_tasks,
+)
+from repro.engine.shard import (
+    merged_shard_results,
+    parse_shard,
+    partition_tasks,
+    shard_index,
+)
+
+
+class TestParseShard:
+    def test_valid_specs(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("2/4") == (2, 4)
+        assert parse_shard(" 3/3 ") == (3, 3)
+
+    @pytest.mark.parametrize(
+        "spec", ["", "0/2", "3/2", "2/0", "a/b", "1", "1/2/3", "-1/2"]
+    )
+    def test_invalid_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_shard(spec)
+
+
+class TestPartition:
+    def tasks(self):
+        return suite_tasks("all", True)
+
+    def test_deterministic(self):
+        tasks = self.tasks()
+        for count in (1, 2, 3, 5):
+            first = [shard_index(task, count) for task in tasks]
+            second = [shard_index(task, count) for task in tasks]
+            assert first == second
+
+    def test_disjoint_and_exhaustive(self):
+        tasks = self.tasks()
+        for count in (1, 2, 3, 5):
+            seen: dict[int, int] = {}
+            for index in range(1, count + 1):
+                mine, foreign = partition_tasks(tasks, index, count)
+                assert len(mine) + len(foreign) == len(tasks)
+                for position, _ in mine:
+                    assert position not in seen, "two shards own one task"
+                    seen[position] = index
+            assert sorted(seen) == list(range(len(tasks))), "a task has no shard"
+
+    def test_independent_of_suite_order_and_name(self):
+        task = AnalysisTask(name="a", source="int main() { return 0; }", kind="analyze")
+        renamed = AnalysisTask(
+            name="b", source="int main() { return 0; }", kind="analyze"
+        )
+        for count in (2, 3, 7):
+            assert shard_index(task, count) == shard_index(renamed, count)
+
+    def test_content_moves_shards_somewhere(self):
+        # Not a property of any single count, but across a few counts two
+        # different programs should not always collide.
+        one = AnalysisTask(name="x", source="int main() { return 1; }")
+        two = AnalysisTask(name="x", source="int main() { return 2; }")
+        assert any(
+            shard_index(one, count) != shard_index(two, count)
+            for count in range(2, 20)
+        )
+
+
+class TestMergeFromSharedStore:
+    #: Tiny but real analyses, so cached payloads are the true article.
+    def tasks(self):
+        sources = {
+            "inc": "int main(int n) { assume(n >= 0); assert(n + 1 >= 1); return n; }",
+            "square": "int main(int n) { assume(n >= 2); assert(n * n >= 4); return n; }",
+            "open": "int main(int n) { assert(n >= 0); return n; }",
+            "sum": "int main(int n) { assume(n >= 0); assert(n + n >= n); return n; }",
+        }
+        return [
+            AnalysisTask(name=name, source=source, kind="assertion", suite="toy")
+            for name, source in sources.items()
+        ]
+
+    def test_two_shards_reproduce_the_unsharded_run_bit_identically(self):
+        tasks = self.tasks()
+        options = ChoraOptions()
+        unsharded = BatchEngine(options=options).run(tasks)
+
+        shared = ResultCache(storage=MemoryStorage())
+        count = 2
+        merged_views = []
+        for index in (1, 2):
+            mine, foreign = partition_tasks(tasks, index, count)
+            own = BatchEngine(cache=shared, options=options).run(
+                [task for _, task in mine]
+            )
+            merged_views.append(
+                merged_shard_results(
+                    tasks, own, mine, foreign, shared, options, count
+                )
+            )
+
+        # After the last shard ran, its merged view is the complete suite...
+        final = merged_views[-1]
+        assert [result.name for result in final] == [task.name for task in tasks]
+        assert all(result.outcome == "ok" for result in final)
+        # ...with payloads bit-identical to the unsharded run.
+        for sharded, reference in zip(final, unsharded):
+            assert sharded.proved == reference.proved
+            assert sharded.bound == reference.bound
+            assert dict(sharded.payload) == dict(reference.payload)
+
+    def test_unfinished_shards_surface_as_pending(self):
+        tasks = self.tasks()
+        options = ChoraOptions()
+        shared = ResultCache(storage=MemoryStorage())
+        count = 2
+        mine, foreign = partition_tasks(tasks, 1, count)
+        if not foreign:
+            pytest.skip("every toy task hashed to shard 1")
+        merged = merged_shard_results(
+            tasks, [], [], foreign, shared, options, count
+        )
+        assert merged and all(result.outcome == "pending" for result in merged)
+        assert all("shard" in result.detail for result in merged)
