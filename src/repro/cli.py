@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -190,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", "-j", type=int, default=1, help="worker processes for suite runs"
     )
     profile.add_argument(
+        "--timeout",
+        type=_timeout_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="per-row deadline for suite runs; 0 is an immediate deadline,"
+        " omit the flag for no deadline (default: none)",
+    )
+    profile.add_argument(
         "--check",
         action="store_true",
         help="fail when timings regress beyond the threshold (or verdicts change)"
@@ -224,6 +233,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _timeout_seconds(text: str) -> float:
+    """Parse ``--timeout``: a non-negative float; ``0`` is a real deadline.
+
+    ``0`` means an *immediate* deadline — every task times out — which is
+    what a literal reading of "0 seconds" promises, and is occasionally
+    useful (e.g. draining a suite into pure cache-hit reporting).  It must
+    never silently disable the deadline; omitting the flag does that.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid timeout {text!r}") from None
+    if not math.isfinite(value):
+        # NaN compares False against every deadline check downstream, which
+        # would silently disable the deadline; infinities are just "omit
+        # the flag" in disguise.
+        raise argparse.ArgumentTypeError(
+            f"timeout must be a finite number of seconds, got {text}"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"timeout must be >= 0 seconds, got {text}"
+        )
+    return value
+
+
 def _engine_arguments(
     parser: argparse.ArgumentParser, jobs: bool, json_flag: bool = True
 ) -> None:
@@ -237,10 +272,11 @@ def _engine_arguments(
         )
     parser.add_argument(
         "--timeout",
-        type=float,
+        type=_timeout_seconds,
         default=None,
         metavar="SECONDS",
-        help="per-program deadline; 0 disables it (default: none)",
+        help="per-program deadline; 0 is an immediate deadline, omit the"
+        " flag for no deadline (default: none)",
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk result cache"
@@ -260,7 +296,9 @@ def _engine_arguments(
 def _make_engine(arguments: argparse.Namespace) -> BatchEngine:
     return BatchEngine(
         jobs=getattr(arguments, "jobs", 1),
-        timeout=arguments.timeout or None,
+        # None (flag omitted) disables the deadline; 0 is a real, immediate
+        # deadline and must not be coerced away.
+        timeout=arguments.timeout,
         cache=make_cache(
             no_cache=getattr(arguments, "no_cache", False),
             directory=arguments.cache_dir,
@@ -369,7 +407,7 @@ def _command_bench(arguments: argparse.Namespace) -> int:
 
         with WorkerPool(
             workers=arguments.jobs,
-            timeout=arguments.timeout or None,
+            timeout=arguments.timeout,
             options=options,
             cache=cache,
         ) as pool:
@@ -377,7 +415,7 @@ def _command_bench(arguments: argparse.Namespace) -> int:
     else:
         engine = BatchEngine(
             jobs=arguments.jobs,
-            timeout=arguments.timeout or None,
+            timeout=arguments.timeout,
             cache=cache,
             options=options,
         )
@@ -426,12 +464,13 @@ def _command_bench(arguments: argparse.Namespace) -> int:
             )
         )
         pending = f", {totals['pending']} pending" if totals["pending"] else ""
+        crash = f", {totals['crash']} crash" if totals["crash"] else ""
         print(
             f"\n{totals['ok']}/{totals['total']} ok, {totals['proved']} proved, "
-            f"{totals['timeout']} timeout, {totals['error']} error{pending}, "
+            f"{totals['timeout']} timeout, {totals['error']} error{crash}{pending}, "
             f"{totals['cache_hits']} cache hits, {totals['wall_time']:.2f}s total"
         )
-    if totals["error"]:
+    if totals["error"] or totals["crash"]:
         return 1
     # Exit 3 distinguishes "this shard succeeded but the merged suite is
     # still missing other shards' results" from a complete run, so a
@@ -451,7 +490,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         host=arguments.host,
         port=arguments.port,
         workers=arguments.workers,
-        timeout=arguments.timeout or None,
+        timeout=arguments.timeout,
         cache=cache,
         verbose=arguments.verbose,
     )
@@ -544,13 +583,20 @@ def _command_profile(arguments: argparse.Namespace) -> int:
         for name in names:
             tasks = suite_tasks(name, arguments.full or full_bench_enabled())
             engine = BatchEngine(
-                jobs=arguments.jobs, cache=None, options=ChoraOptions()
+                jobs=arguments.jobs,
+                timeout=arguments.timeout,
+                cache=None,
+                options=ChoraOptions(),
             )
             results = engine.run(tasks)
             record(
                 name,
                 perf.suite_entry_record(
-                    name, results, arguments.label, arguments.jobs
+                    name,
+                    results,
+                    arguments.label,
+                    arguments.jobs,
+                    timeout=arguments.timeout,
                 ),
             )
     if arguments.json:
@@ -608,13 +654,25 @@ def _command_cache(arguments: argparse.Namespace) -> int:
     cache = ResultCache(arguments.cache_dir or default_cache_directory())
     if arguments.action == "clear":
         removed = cache.clear()
-        print(f"removed {removed} cached results from {cache.directory}")
+        memo_removed = cache.clear_memo_snapshot()
+        memo = " (and the polyhedra memo snapshot)" if memo_removed else ""
+        print(f"removed {removed} cached results from {cache.directory}{memo}")
         return 0
     stats = cache.stats()
     print(f"directory: {stats['directory']}")
     print(f"{stats['entries']} entries, {stats['bytes']} bytes")
     for suite, count in stats["suites"].items():
         print(f"  {suite}: {count}")
+    memo = cache.memo_snapshot_stats()
+    if memo["present"]:
+        print(
+            f"polyhedra memo snapshot: {memo['entries']} entries,"
+            f" {memo['bytes']} bytes"
+        )
+        for table, count in memo["tables"].items():
+            print(f"  {table}: {count}")
+    else:
+        print("polyhedra memo snapshot: none")
     return 0
 
 

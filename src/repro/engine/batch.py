@@ -87,13 +87,43 @@ def _result_from_payload(
     )
 
 
+def _unreported_result(task: AnalysisTask) -> BatchResult:
+    """The explicit error record for a slot no result ever landed in."""
+    return BatchResult(
+        name=task.name,
+        kind=task.kind,
+        outcome="error",
+        wall_time=0.0,
+        suite=task.suite,
+        detail="no result was recorded for this task; this is an engine"
+        " bookkeeping bug, not an analysis outcome",
+    )
+
+
 def _worker(task: AnalysisTask, options: ChoraOptions, connection) -> None:
-    """Entry point of one worker process: run the task, report once."""
+    """Entry point of one worker process: run the task, report once.
+
+    The result send is guarded separately from the analysis: a payload that
+    fails to *serialize* (``connection.send`` pickles it) must be reported
+    as an ``error`` carrying the serialization traceback, not die mid-send
+    and surface as an unexplained ``crash`` in the batch report.
+    """
     try:
-        payload = execute_task(task, options)
-        connection.send(("ok", payload))
-    except BaseException:
-        connection.send(("error", traceback.format_exc(limit=20)))
+        try:
+            message = ("ok", execute_task(task, options))
+        except BaseException:
+            message = ("error", traceback.format_exc(limit=20))
+        try:
+            connection.send(message)
+        except BaseException:
+            connection.send(
+                (
+                    "error",
+                    "the task succeeded but its result payload could not be"
+                    " serialized for the parent process:\n"
+                    + traceback.format_exc(limit=20),
+                )
+            )
     finally:
         connection.close()
 
@@ -119,7 +149,9 @@ class BatchEngine:
     jobs:
         Maximum number of concurrently running worker processes.
     timeout:
-        Per-task deadline in seconds (``None`` disables the deadline).
+        Per-task deadline in seconds.  ``None`` disables the deadline; ``0``
+        is an *immediate* deadline — cache hits still serve, but no worker
+        is ever spawned and every other task is reported as ``timeout``.
     cache:
         A :class:`ResultCache`, or ``None`` to disable caching.
     options:
@@ -166,6 +198,21 @@ class BatchEngine:
                 if payload is not None:
                     finish(index, _result_from_payload(task, payload, 0.0, True))
                     continue
+            if self.timeout == 0:
+                # An immediate deadline: deterministic, no worker is spawned
+                # (a fast task must not win a race against the reaper).
+                finish(
+                    index,
+                    BatchResult(
+                        name=task.name,
+                        kind=task.kind,
+                        outcome="timeout",
+                        wall_time=0.0,
+                        suite=task.suite,
+                        detail="exceeded the 0s deadline",
+                    ),
+                )
+                continue
             queue.append((index, task, key))
 
         running: dict[int, _Running] = {}
@@ -178,6 +225,13 @@ class BatchEngine:
         finally:
             for state in running.values():
                 self._kill(state)
+        # Every task must be accounted for: a slot that never received a
+        # result (an engine bookkeeping bug, or the run() above unwinding
+        # through an exception) becomes an explicit error record instead of
+        # silently shrinking the report.
+        for index, task in enumerate(tasks):
+            if results[index] is None:
+                finish(index, _unreported_result(task))
         return [result for result in results if result is not None]
 
     def run_suite(
@@ -285,6 +339,16 @@ class BatchEngine:
                 return state.connection.recv()
             except (EOFError, OSError):
                 return None
+            except BaseException:
+                # The worker reported, but its payload failed to
+                # *deserialize* (a __reduce__ that raises on load, a class
+                # that only exists in the worker, ...).  That is this task's
+                # error, never a reason to sink the whole batch.
+                return (
+                    "error",
+                    "the worker's result payload could not be deserialized:\n"
+                    + traceback.format_exc(limit=20),
+                )
         return None
 
     @staticmethod
@@ -299,13 +363,20 @@ class BatchEngine:
 
 
 def summarize_batch(results: Sequence[BatchResult]) -> dict[str, Any]:
-    """Aggregate counters for reports and CI logs."""
+    """Aggregate counters for reports and CI logs.
+
+    ``error`` (an exception inside the analysis, reported with a traceback)
+    and ``crash`` (the worker process died without reporting) are distinct
+    failure modes — a crash points at the engine or the environment, an
+    error at the analysis — so they are counted separately.
+    """
     return {
         "total": len(results),
         "ok": sum(result.outcome == "ok" for result in results),
         "proved": sum(bool(result.proved) for result in results),
         "timeout": sum(result.outcome == "timeout" for result in results),
-        "error": sum(result.outcome in ("error", "crash") for result in results),
+        "error": sum(result.outcome == "error" for result in results),
+        "crash": sum(result.outcome == "crash" for result in results),
         "pending": sum(result.outcome == "pending" for result in results),
         "cache_hits": sum(result.cache_hit for result in results),
         "wall_time": round(sum(result.wall_time for result in results), 3),

@@ -178,6 +178,28 @@ class ResultCache:
                 removed += 1
         return removed
 
+    # ------------------------------------------------------------------ #
+    # The polyhedral memo snapshot (persisted projection/LP memo tables)
+    # lives in a ``memo`` namespace of the same storage backend.  Warm
+    # service workers read and write it (see repro.service.pool); the
+    # methods below only surface it to ``repro cache stats|clear``.
+    # ------------------------------------------------------------------ #
+    def memo_storage(self) -> CacheStorage:
+        """The storage namespace holding the polyhedral memo snapshot."""
+        return self.storage.namespace("memo")
+
+    def memo_snapshot_stats(self) -> dict[str, Any]:
+        """Presence/size/per-table entry counts of the memo snapshot."""
+        from ..polyhedra.cache import snapshot_stats
+
+        return snapshot_stats(self.memo_storage(), code_fingerprint())
+
+    def clear_memo_snapshot(self) -> bool:
+        """Remove the memo snapshot; returns whether one existed."""
+        from ..polyhedra.cache import SNAPSHOT_NAME
+
+        return self.memo_storage().delete(SNAPSHOT_NAME)
+
     def stats(self, per_suite: bool = True) -> dict[str, Any]:
         """Entry count, total size, and per-suite breakdown of the cache.
 

@@ -91,11 +91,15 @@ def suite_entry_record(
     results: Sequence[BatchResult],
     label: str = "",
     jobs: int = 1,
+    timeout: Optional[float] = None,
 ) -> dict[str, Any]:
     """A perf entry summarizing one cold suite run.
 
     Memo-table statistics are deliberately absent: tasks execute in forked
     worker processes, so the parent's tables see none of the traffic.
+    ``timeout`` is the per-row deadline the run was taken under (recorded so
+    nightly entries with row budgets are not compared naively against
+    unbudgeted ones).
     """
     return {
         "kind": "suite",
@@ -103,6 +107,7 @@ def suite_entry_record(
         "label": label,
         "created": _timestamp(),
         "jobs": jobs,
+        "timeout": timeout,
         "rows": [
             {
                 "name": result.name,
@@ -223,7 +228,7 @@ def _micro_projection_chain() -> None:
         constraints.append(LinearConstraint.make({x: 1}, -50))
         constraints.append(LinearConstraint.make({x: -1}, -50))
     for _ in range(8):
-        clear_caches()
+        clear_caches(force=True)
         fourier_motzkin.eliminate(constraints, xs[1:-1])
 
 
@@ -295,7 +300,7 @@ def _micro_exact_infeasible() -> None:
     constraints.append(LinearConstraint.make({xs[0]: 1}, 0, ConstraintKind.EQ))
     constraints.append(LinearConstraint.make({xs[-1]: 1}, -4))
     for _ in range(15):
-        clear_caches()
+        clear_caches(force=True)
         lp.is_satisfiable(constraints)
 
 
@@ -312,8 +317,9 @@ MICRO_BENCHMARKS: dict[str, Callable[[], None]] = {
 def run_micro_benchmarks(repeats: int = 3) -> list[dict[str, Any]]:
     """Time every micro-benchmark (best of ``repeats``, caches cleared).
 
-    The memo caches are cleared before every repetition so the gate measures
-    the cold algorithmic path rather than a table lookup.
+    The memo caches are force-cleared before every repetition — even inside
+    a ``keep_warm`` scope or a worker that loaded a persisted memo snapshot
+    — so the gate measures the cold algorithmic path, never a table lookup.
     """
     from ..polyhedra.cache import clear_caches
 
@@ -321,7 +327,7 @@ def run_micro_benchmarks(repeats: int = 3) -> list[dict[str, Any]]:
     for name, function in MICRO_BENCHMARKS.items():
         best = None
         for _ in range(max(1, repeats)):
-            clear_caches()
+            clear_caches(force=True)
             started = time.perf_counter()
             function()
             elapsed = time.perf_counter() - started

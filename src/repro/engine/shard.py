@@ -151,10 +151,29 @@ def merged_shard_results(
     options: ChoraOptions,
     count: int,
 ) -> list[BatchResult]:
-    """Assemble the full suite report of one shard run, in suite order."""
+    """Assemble the full suite report of one shard run, in suite order.
+
+    Every task of the suite appears exactly once in the report: a slot that
+    received neither an own result nor a merged foreign one (an engine
+    bookkeeping bug, e.g. ``own_results`` shorter than ``mine``) is filled
+    with an explicit ``error`` record instead of being dropped — a silently
+    shortened report would read as a smaller suite.
+    """
     slots: list[Optional[BatchResult]] = [None] * len(tasks)
     for (position, _), result in zip(mine, own_results):
         slots[position] = result
     for position, result in merge_foreign_results(foreign, cache, options, count):
         slots[position] = result
-    return [result for result in slots if result is not None]
+    for position, task in enumerate(tasks):
+        if slots[position] is None:
+            slots[position] = BatchResult(
+                name=task.name,
+                kind=task.kind,
+                outcome="error",
+                wall_time=0.0,
+                suite=task.suite,
+                detail="no result was recorded for this task while merging"
+                " shard reports; this is an engine bookkeeping bug, not an"
+                " analysis outcome",
+            )
+    return list(slots)

@@ -29,7 +29,7 @@ import tempfile
 from pathlib import Path
 from typing import Iterator, Optional
 
-__all__ = ["CacheStorage", "DirectoryStorage", "MemoryStorage"]
+__all__ = ["CacheStorage", "DirectoryStorage", "MemoryStorage", "PrefixStorage"]
 
 
 class CacheStorage(ABC):
@@ -59,6 +59,47 @@ class CacheStorage(ABC):
         """Stored size of ``name`` in bytes (0 when absent)."""
         data = self.read(name)
         return len(data) if data is not None else 0
+
+    def namespace(self, name: str) -> "CacheStorage":
+        """A sub-store of this backend under its own key space.
+
+        Independent caches — analysis results and the polyhedral memo
+        snapshot — share one backend without key collisions by writing
+        through namespaces.  :class:`DirectoryStorage` maps a namespace to a
+        subdirectory and :class:`MemoryStorage` to a child store, keeping
+        namespaced entries out of the parent's :meth:`names`; the generic
+        fallback prefixes entry names (a prefixed entry does appear in a
+        backend's raw listing — override this method where that matters).
+        """
+        return PrefixStorage(self, name)
+
+
+class PrefixStorage(CacheStorage):
+    """A namespace view over another backend (name-prefix based)."""
+
+    def __init__(self, inner: CacheStorage, prefix: str):
+        self.inner = inner
+        self.prefix = f"{prefix}::"
+
+    def read(self, name: str) -> Optional[bytes]:
+        return self.inner.read(self.prefix + name)
+
+    def write(self, name: str, data: bytes) -> None:
+        self.inner.write(self.prefix + name, data)
+
+    def delete(self, name: str) -> bool:
+        return self.inner.delete(self.prefix + name)
+
+    def names(self) -> Iterator[str]:
+        for name in self.inner.names():
+            if name.startswith(self.prefix):
+                yield name[len(self.prefix) :]
+
+    def location(self) -> str:
+        return f"{self.inner.location()}::{self.prefix.rstrip(':')}"
+
+    def size_of(self, name: str) -> int:
+        return self.inner.size_of(self.prefix + name)
 
 
 class DirectoryStorage(CacheStorage):
@@ -123,12 +164,19 @@ class DirectoryStorage(CacheStorage):
         except OSError:
             return 0
 
+    def namespace(self, name: str) -> CacheStorage:
+        # A subdirectory rather than a name prefix: ``names()`` globs are
+        # non-recursive, so namespaced entries stay invisible to result-cache
+        # scans, and the entry names stay portable filenames.
+        return DirectoryStorage(self.directory / name)
+
 
 class MemoryStorage(CacheStorage):
     """A process-local dict backend (tests, ephemeral service caches)."""
 
     def __init__(self) -> None:
         self._entries: dict[str, bytes] = {}
+        self._namespaces: dict[str, "MemoryStorage"] = {}
 
     def read(self, name: str) -> Optional[bytes]:
         return self._entries.get(name)
@@ -144,3 +192,12 @@ class MemoryStorage(CacheStorage):
 
     def location(self) -> str:
         return "<memory>"
+
+    def namespace(self, name: str) -> CacheStorage:
+        # A child store (mirroring DirectoryStorage's subdirectory), so
+        # namespaced entries never appear in this store's own listing and
+        # repeated calls share one namespace.
+        store = self._namespaces.get(name)
+        if store is None:
+            store = self._namespaces[name] = MemoryStorage()
+        return store

@@ -16,16 +16,31 @@ The tables are bounded (FIFO eviction) and process-local; batch-engine
 workers fork with empty-to-warm parent tables and diverge independently,
 which cannot change any result because every memoized query is a pure
 function of its canonical key.
+
+The tables are also **persistable**: :func:`save_snapshot` serializes every
+table into one atomic entry of a :class:`~repro.engine.storage.CacheStorage`
+and :func:`load_snapshot` absorbs it back, so warm service workers reload
+their projection/LP memo across restarts (``repro serve``, ``repro bench
+--engine warm``) and ``repro cache stats`` can report it.  Snapshots are
+guarded by a caller-supplied fingerprint (the engine passes its code
+fingerprint): a snapshot written by different analysis code is silently
+ignored rather than replayed, because the memoized *values* are shaped by
+the algorithms that computed them.
 """
 
 from __future__ import annotations
 
 import contextlib
+import io
+import pickle
 from collections import OrderedDict
-from typing import Callable, Hashable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Iterator, Sequence
 
 from ..formulas.symbols import Symbol
 from .constraint import LinearConstraint
+
+if TYPE_CHECKING:  # pragma: no cover - layering: engine imports polyhedra
+    from ..engine.storage import CacheStorage
 
 __all__ = [
     "MemoCache",
@@ -34,7 +49,10 @@ __all__ = [
     "clear_caches",
     "cache_stats",
     "keep_warm",
+    "load_snapshot",
     "register_cache",
+    "save_snapshot",
+    "snapshot_stats",
 ]
 
 #: Default per-table entry cap.  Projection results are small (a list of
@@ -45,13 +63,21 @@ _REGISTRY: dict[str, "MemoCache"] = {}
 
 
 class MemoCache:
-    """A bounded FIFO memo table with hit/miss counters."""
+    """A bounded FIFO memo table with hit/miss counters.
 
-    __slots__ = ("name", "capacity", "_entries", "hits", "misses")
+    ``persistent`` marks the table as part of the on-disk memo snapshot;
+    only tables whose keys and values stay within the snapshot's closed
+    class vocabulary (see ``_ALLOWED_CLASSES``) may set it.
+    """
 
-    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY):
+    __slots__ = ("name", "capacity", "persistent", "_entries", "hits", "misses")
+
+    def __init__(
+        self, name: str, capacity: int = DEFAULT_CAPACITY, persistent: bool = False
+    ):
         self.name = name
         self.capacity = capacity
+        self.persistent = persistent
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -72,6 +98,28 @@ class MemoCache:
     def contains(self, key: Hashable) -> bool:
         return key in self._entries
 
+    def export_entries(self) -> list[tuple[Hashable, object]]:
+        """The table's entries in insertion (FIFO) order."""
+        return list(self._entries.items())
+
+    def absorb(self, entries: Iterable[tuple[Hashable, object]]) -> int:
+        """Install snapshot entries without touching the hit/miss counters.
+
+        Existing keys win (they are newer), and absorption stops at the
+        capacity instead of evicting — a persisted snapshot must warm the
+        table, never push out entries this process computed itself.
+        Returns how many entries were actually added.
+        """
+        added = 0
+        for key, value in entries:
+            if len(self._entries) >= self.capacity:
+                break
+            if key in self._entries:
+                continue
+            self._entries[key] = value
+            added += 1
+        return added
+
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
@@ -88,12 +136,16 @@ class MemoCache:
         }
 
 
-def register_cache(name: str, capacity: int = DEFAULT_CAPACITY) -> MemoCache:
+def register_cache(
+    name: str, capacity: int = DEFAULT_CAPACITY, persistent: bool = False
+) -> MemoCache:
     """Create (or fetch) the named memo table in the module registry."""
     cache = _REGISTRY.get(name)
     if cache is None:
-        cache = MemoCache(name, capacity)
+        cache = MemoCache(name, capacity, persistent)
         _REGISTRY[name] = cache
+    elif persistent:
+        cache.persistent = True
     return cache
 
 
@@ -135,6 +187,134 @@ def keep_warm() -> Iterator[None]:
 def cache_stats() -> dict[str, dict[str, int]]:
     """Hit/miss/entry counters of every registered table."""
     return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
+
+
+# ---------------------------------------------------------------------- #
+# Snapshot persistence (CacheStorage-backed)
+# ---------------------------------------------------------------------- #
+#: Entry name of the memo snapshot inside its storage namespace.
+SNAPSHOT_NAME = "polyhedra-memo"
+
+#: Bump on incompatible changes to the pickled snapshot layout.
+SNAPSHOT_SCHEMA = 1
+
+#: The closed vocabulary a memo snapshot may contain.  Result-cache
+#: directories are shareable between machines, so a snapshot must be treated
+#: as untrusted input: unpickling goes through a restricted Unpickler that
+#: resolves only these classes — a crafted blob naming anything else (the
+#: classic ``os.system`` reduce) fails to load and reads as a cold start.
+#: Only tables registered with ``persistent=True`` (the projection/LP memo,
+#: whose keys and values are plain constraint-system data) are snapshotted;
+#: tables keyed on richer objects (the abstraction layer's formulas) stay
+#: per-process rather than growing this vocabulary.
+_ALLOWED_CLASSES = {
+    ("builtins", "frozenset"),
+    ("fractions", "Fraction"),
+    ("repro.formulas.symbols", "Symbol"),
+    ("repro.polyhedra.constraint", "ConstraintKind"),
+    ("repro.polyhedra.constraint", "LinearConstraint"),
+}
+
+
+class _SnapshotUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str):
+        if (module, name) in _ALLOWED_CLASSES:
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"snapshot references disallowed class {module}.{name}"
+        )
+
+
+def save_snapshot(storage: "CacheStorage", fingerprint: str) -> int:
+    """Persist every registered memo table into ``storage``; returns entries.
+
+    An existing snapshot with the same fingerprint is merged in first
+    (entries are pure functions of their keys, so merging concurrent
+    workers' tables is conflict-free; this process's entries win on
+    overlap).  Write failures are swallowed — a broken snapshot store must
+    never sink an analysis run — and reported as 0.
+    """
+    tables: dict[str, list] = {}
+    merged = _load_tables(storage, fingerprint)
+    for name, cache in sorted(_REGISTRY.items()):
+        if not cache.persistent:
+            continue
+        entries = dict(merged.get(name, ()))
+        entries.update(cache.export_entries())
+        if entries:
+            tables[name] = list(entries.items())
+    if not tables:
+        # Nothing to persist (e.g. a worker that only served cache hits):
+        # don't replace a useful snapshot with an empty one.
+        return 0
+    payload = {
+        "schema": SNAPSHOT_SCHEMA,
+        "fingerprint": fingerprint,
+        "tables": tables,
+    }
+    try:
+        storage.write(SNAPSHOT_NAME, pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+    return sum(len(entries) for entries in tables.values())
+
+
+def load_snapshot(storage: "CacheStorage", fingerprint: str) -> int:
+    """Absorb a persisted snapshot into the registered tables.
+
+    Entries already present locally are kept (they are at least as fresh).
+    A snapshot written under a different fingerprint — different analysis
+    code — is ignored.  Returns how many entries were loaded.
+    """
+    loaded = 0
+    for name, entries in _load_tables(storage, fingerprint).items():
+        table = _REGISTRY.get(name)
+        if table is None or not table.persistent:
+            # A table this build does not persist (renamed, or a snapshot
+            # from a foreign build claiming extra tables): ignore it.
+            continue
+        loaded += table.absorb(entries)
+    return loaded
+
+
+def _load_tables(storage: "CacheStorage", fingerprint: str) -> dict[str, list]:
+    """The snapshot's per-table entry lists, or ``{}`` when absent/stale."""
+    try:
+        data = storage.read(SNAPSHOT_NAME)
+    except Exception:
+        return {}
+    if data is None:
+        return {}
+    try:
+        payload = _SnapshotUnpickler(io.BytesIO(data)).load()
+    except Exception:
+        # Truncated file, incompatible pickle, a class outside the allowed
+        # vocabulary, or classes that moved since the snapshot was written:
+        # treat as a cold start.
+        return {}
+    if not isinstance(payload, dict):
+        return {}
+    if payload.get("schema") != SNAPSHOT_SCHEMA:
+        return {}
+    if payload.get("fingerprint") != fingerprint:
+        return {}
+    tables = payload.get("tables")
+    return tables if isinstance(tables, dict) else {}
+
+
+def snapshot_stats(storage: "CacheStorage", fingerprint: str) -> dict[str, object]:
+    """A JSON-ready description of the persisted snapshot (for cache stats)."""
+    try:
+        size = storage.size_of(SNAPSHOT_NAME)
+    except Exception:
+        size = 0
+    tables = _load_tables(storage, fingerprint) if size else {}
+    return {
+        "present": size > 0,
+        "bytes": size,
+        "entries": sum(len(entries) for entries in tables.values()),
+        "tables": {name: len(entries) for name, entries in sorted(tables.items())},
+    }
 
 
 # ---------------------------------------------------------------------- #

@@ -11,9 +11,20 @@ one symbol at a time:
 * otherwise classic Fourier–Motzkin combination of the positive and negative
   occurrences is used.
 
+Derived constraints carry their **history**: the set of input constraints
+they descend from, together with the set of symbols eliminated along their
+derivation.  Imbert's first acceleration theorem states that a derived
+inequality whose history contains more than ``1 + #eliminated`` input
+constraints is redundant — implied by the other constraints the algorithm
+keeps — so such combinations are dropped *at generation time*, before they
+can feed the quadratic blow-up of later elimination steps or trigger an
+LP-based minimization pass.  The pruning is exact: it removes only redundant
+rows, so the projection's solution set is unchanged.
+
 After each elimination step syntactically redundant constraints are removed;
-when the constraint count grows beyond a threshold an LP-based minimization
-pass prunes semantically redundant constraints to keep the blow-up bounded.
+when the constraint count still grows beyond a threshold an LP-based
+minimization pass prunes semantically redundant constraints to keep the
+blow-up bounded.
 """
 
 from __future__ import annotations
@@ -40,8 +51,34 @@ BLOWUP_LIMIT = 600
 #: constantly (the hull re-eliminates equal lifted systems whenever a join
 #: is revisited, and fresh-symbol indices never hit a key twice without the
 #: canonical renaming).
-_PROJECTION_CACHE = memo.register_cache("fm.eliminate")
-_MINIMIZE_CACHE = memo.register_cache("fm.minimize")
+_PROJECTION_CACHE = memo.register_cache("fm.eliminate", persistent=True)
+_MINIMIZE_CACHE = memo.register_cache("fm.minimize", persistent=True)
+
+
+class _Tracked:
+    """One constraint plus its Imbert derivation history.
+
+    ``history`` is a bitmask over the input-constraint indices the row
+    descends from; ``eliminated`` is a bitmask over the symbols officially
+    eliminated along its derivation.  Imbert's first acceleration theorem:
+    an inequality with ``popcount(history) > 1 + popcount(eliminated)`` is
+    redundant and may be dropped without changing the projection.  Bitmasks
+    keep the per-combination cost to two integer ORs and two popcounts.
+    """
+
+    __slots__ = ("constraint", "history", "eliminated")
+
+    def __init__(self, constraint: LinearConstraint, history: int, eliminated: int):
+        self.constraint = constraint
+        self.history = history
+        self.eliminated = eliminated
+
+    def replaced(self, constraint: LinearConstraint) -> "_Tracked":
+        return _Tracked(constraint, self.history, self.eliminated)
+
+
+def _imbert_redundant(history: int, eliminated: int) -> bool:
+    return history.bit_count() > 1 + eliminated.bit_count()
 
 
 def eliminate(
@@ -86,19 +123,20 @@ def _eliminate_core(
     remaining: list[Symbol],
     minimize_threshold: int,
 ) -> list[LinearConstraint]:
+    tracked = [_Tracked(c, 1 << i, 0) for i, c in enumerate(current)]
+    symbol_bits = {s: 1 << i for i, s in enumerate(remaining)}
     while remaining:
-        symbol = _pick_symbol(current, remaining)
+        symbol = _pick_symbol([t.constraint for t in tracked], remaining)
         remaining.remove(symbol)
-        if not any(c.coefficient(symbol) != 0 for c in current):
+        if not any(t.constraint.coefficient(symbol) != 0 for t in tracked):
             continue
-        current = _eliminate_one(current, symbol)
-        cleaned = _clean(current)
-        if cleaned is None:
+        tracked = _eliminate_one(tracked, symbol, symbol_bits[symbol])
+        tracked = _clean_tracked(tracked)
+        if tracked is None:
             return [_contradiction()]
-        current = cleaned
-        if len(current) > minimize_threshold:
-            current = minimize_constraints(current)
-    return current
+        if len(tracked) > minimize_threshold:
+            tracked = _minimize_tracked(tracked)
+    return [t.constraint for t in tracked]
 
 
 def _contradiction() -> LinearConstraint:
@@ -139,74 +177,108 @@ def _pick_symbol(
 
 
 def _eliminate_one(
-    constraints: Sequence[LinearConstraint], symbol: Symbol
-) -> list[LinearConstraint]:
+    tracked: Sequence[_Tracked], symbol: Symbol, symbol_bit: int
+) -> list[_Tracked]:
     equality = next(
         (
-            c
-            for c in constraints
-            if c.kind is ConstraintKind.EQ and c.coefficient(symbol) != 0
+            t
+            for t in tracked
+            if t.constraint.kind is ConstraintKind.EQ
+            and t.constraint.coefficient(symbol) != 0
         ),
         None,
     )
     if equality is not None:
-        return _substitute_equality(constraints, symbol, equality)
-    return _fourier_motzkin_step(constraints, symbol)
+        return _substitute_equality(tracked, symbol, symbol_bit, equality)
+    return _fourier_motzkin_step(tracked, symbol, symbol_bit)
 
 
 def _substitute_equality(
-    constraints: Sequence[LinearConstraint],
+    tracked: Sequence[_Tracked],
     symbol: Symbol,
-    equality: LinearConstraint,
-) -> list[LinearConstraint]:
-    """Eliminate ``symbol`` using ``equality`` by Gaussian substitution."""
-    coeff = equality.coefficient(symbol)
-    result: list[LinearConstraint] = []
-    for constraint in constraints:
-        if constraint is equality:
+    symbol_bit: int,
+    equality: _Tracked,
+) -> list[_Tracked]:
+    """Eliminate ``symbol`` using ``equality`` by Gaussian substitution.
+
+    Substitution is the Fourier combination of each row with the (directed)
+    equality, so derived rows union the equality's history and count
+    ``symbol`` as eliminated; inequality rows whose history then exceeds
+    Imbert's bound are redundant and dropped.
+    """
+    eq_constraint = equality.constraint
+    coeff = eq_constraint.coefficient(symbol)
+    result: list[_Tracked] = []
+    for t in tracked:
+        if t is equality:
             continue
+        constraint = t.constraint
         c = constraint.coefficient(symbol)
         if c == 0:
-            result.append(constraint)
+            result.append(t)
+            continue
+        history = t.history | equality.history
+        eliminated = t.eliminated | equality.eliminated | symbol_bit
+        if constraint.kind is ConstraintKind.LE and _imbert_redundant(
+            history, eliminated
+        ):
             continue
         # constraint - (c / coeff) * equality removes the symbol.
         factor = c / coeff
         coeffs = constraint.coeff_map
-        for s, e in equality.coeffs:
+        for s, e in eq_constraint.coeffs:
             coeffs[s] = coeffs.get(s, Fraction(0)) - factor * e
-        constant = constraint.constant - factor * equality.constant
-        result.append(LinearConstraint.make(coeffs, constant, constraint.kind))
+        constant = constraint.constant - factor * eq_constraint.constant
+        result.append(
+            _Tracked(
+                LinearConstraint.make(coeffs, constant, constraint.kind),
+                history,
+                eliminated,
+            )
+        )
     return result
 
 
 def _fourier_motzkin_step(
-    constraints: Sequence[LinearConstraint], symbol: Symbol
-) -> list[LinearConstraint]:
-    """One classic Fourier–Motzkin elimination step for ``symbol``."""
-    positives: list[LinearConstraint] = []
-    negatives: list[LinearConstraint] = []
-    untouched: list[LinearConstraint] = []
-    for constraint in constraints:
-        coeff = constraint.coefficient(symbol)
+    tracked: Sequence[_Tracked], symbol: Symbol, symbol_bit: int
+) -> list[_Tracked]:
+    """One Fourier–Motzkin elimination step for ``symbol``, Imbert-pruned."""
+    positives: list[_Tracked] = []
+    negatives: list[_Tracked] = []
+    untouched: list[_Tracked] = []
+    for t in tracked:
+        coeff = t.constraint.coefficient(symbol)
         if coeff == 0:
-            untouched.append(constraint)
+            untouched.append(t)
         elif coeff > 0:
-            positives.append(constraint)
+            positives.append(t)
         else:
-            negatives.append(constraint)
+            negatives.append(t)
     if len(positives) * len(negatives) + len(untouched) > BLOWUP_LIMIT:
         # Sound fallback: forget every constraint that mentions the symbol.
         return untouched
     result = untouched
     for pos in positives:
-        cp = pos.coefficient(symbol)
+        cp = pos.constraint.coefficient(symbol)
         for neg in negatives:
-            cn = neg.coefficient(symbol)
-            combined = pos.scale(-cn).add(neg.scale(cp))
+            history = pos.history | neg.history
+            eliminated = pos.eliminated | neg.eliminated | symbol_bit
+            if _imbert_redundant(history, eliminated):
+                # Imbert's acceleration theorem: this combination is implied
+                # by the surviving rows — skip it before it is even built.
+                continue
+            cn = neg.constraint.coefficient(symbol)
+            combined = pos.constraint.scale(-cn).add(neg.constraint.scale(cp))
             # The symbol cancels by construction; guard against Fraction noise.
             coeffs = {s: c for s, c in combined.coeffs if s != symbol}
             result.append(
-                LinearConstraint.make(coeffs, combined.constant, ConstraintKind.LE)
+                _Tracked(
+                    LinearConstraint.make(
+                        coeffs, combined.constant, ConstraintKind.LE
+                    ),
+                    history,
+                    eliminated,
+                )
             )
     return result
 
@@ -243,6 +315,61 @@ def _clean(
     if lp.interval_contradiction(result):
         return None
     return result
+
+
+def _clean_tracked(tracked: Sequence[_Tracked]) -> list[_Tracked] | None:
+    """History-carrying variant of :func:`_clean` (same kept constraints).
+
+    When one normalized constraint arises from several derivations the
+    smallest history is kept — every derivation is a genuine one, and a
+    smaller history keeps the row safe from Imbert pruning longer.
+    """
+    seen: dict[tuple, _Tracked] = {}
+    for t in tracked:
+        constraint = t.constraint
+        if constraint.is_contradiction:
+            return None
+        if constraint.is_trivial:
+            continue
+        normalized = constraint.normalize()
+        key = (normalized.coeffs, normalized.kind)
+        existing = seen.get(key)
+        if existing is None:
+            seen[key] = t.replaced(normalized)
+        elif normalized.kind is ConstraintKind.LE:
+            if normalized.constant > existing.constraint.constant:
+                seen[key] = t.replaced(normalized)
+            elif (
+                normalized.constant == existing.constraint.constant
+                and t.history.bit_count() < existing.history.bit_count()
+            ):
+                seen[key] = t.replaced(normalized)
+        else:
+            if normalized.constant != existing.constraint.constant:
+                return None
+            if t.history.bit_count() < existing.history.bit_count():
+                seen[key] = t.replaced(normalized)
+    result = list(seen.values())
+    if lp.interval_contradiction([t.constraint for t in result]):
+        return None
+    return result
+
+
+def _minimize_tracked(tracked: Sequence[_Tracked]) -> list[_Tracked]:
+    """LP-minimize the constraints of ``tracked``, re-attaching histories.
+
+    Rows removed by the LP pass simply disappear; surviving rows keep the
+    (smallest) history of the derivation that produced them.  A row the LP
+    pass *rewrote* (it never does today) would fall back to an empty
+    history, which Imbert's bound can never prune — the sound default.
+    """
+    best: dict[LinearConstraint, _Tracked] = {}
+    for t in tracked:
+        existing = best.get(t.constraint)
+        if existing is None or t.history.bit_count() < existing.history.bit_count():
+            best[t.constraint] = t
+    minimized = minimize_constraints([t.constraint for t in tracked])
+    return [best.get(c) or _Tracked(c, 0, 0) for c in minimized]
 
 
 def minimize_constraints(

@@ -34,11 +34,18 @@ __all__ = ["LpResult", "LpStatus", "maximize", "is_satisfiable", "entails", "TOL
 #: Absolute tolerance used when interpreting floating-point LP results.
 TOLERANCE = 1e-7
 
+#: Systems with at most this many constraints skip the floating-point solver
+#: entirely: the fraction-free integer simplex decides them outright in well
+#: under the scipy wrapper's per-call overhead, and its answers are exact, so
+#: no confirmation pass is needed.  Larger systems keep the float-first
+#: screen, where HiGHS's asymptotics win.
+EXACT_FIRST_LIMIT = 12
+
 #: Memo tables for the two soundness-critical (and frequently repeated)
 #: queries.  Both are pure functions of the canonicalised constraint system,
 #: so the tables survive across polyhedra, hull folds and minimization passes.
-_SAT_CACHE = cache.register_cache("lp.is_satisfiable")
-_ENTAILS_CACHE = cache.register_cache("lp.entails")
+_SAT_CACHE = cache.register_cache("lp.is_satisfiable", persistent=True)
+_ENTAILS_CACHE = cache.register_cache("lp.entails", persistent=True)
 
 
 @dataclass(frozen=True)
@@ -163,6 +170,8 @@ def is_satisfiable(constraints: Sequence[LinearConstraint]) -> bool:
 def _is_satisfiable_uncached(nontrivial: Sequence[LinearConstraint]) -> bool:
     from .simplex import exact_is_satisfiable  # local import avoids a cycle
 
+    if len(nontrivial) <= EXACT_FIRST_LIMIT:
+        return exact_is_satisfiable(nontrivial)
     result = maximize({}, nontrivial)
     if result.status == LpStatus.INFEASIBLE:
         return exact_is_satisfiable(nontrivial)
@@ -230,6 +239,8 @@ def _entails_uncached(
         return entails(constraints, le) and entails(constraints, ge)
     from .simplex import exact_entails  # local import avoids a cycle
 
+    if len(constraints) <= EXACT_FIRST_LIMIT:
+        return exact_entails(list(constraints), candidate)
     objective = candidate.coeff_map
     scale = max((abs(c) for c in objective.values()), default=Fraction(1)) or Fraction(1)
     scaled_objective = {s: c / scale for s, c in objective.items()}

@@ -1,22 +1,35 @@
-"""Exact rational linear programming (two-phase simplex, Bland's rule).
+"""Exact rational linear programming (fraction-free two-phase simplex).
 
 The floating-point LP backend (:mod:`repro.polyhedra.lp`) is fast but its
 answers near the decision boundary cannot be trusted for *soundness-critical*
 queries: claiming that a constraint system entails a candidate inequation when
 it does not would let an unsound invariant into a procedure summary.  This
-module provides an exact simplex over :class:`fractions.Fraction` that the LP
-layer consults whenever the floating-point answer is in the unsound direction
-or too close to call.
+module provides an exact simplex that the LP layer consults whenever the
+floating-point answer is in the unsound direction or too close to call.
 
 The solver maximizes a linear objective subject to ``A x + b <= 0`` /
 ``A x + b == 0`` constraints with *free* variables.  Free variables are split
 into differences of non-negative variables, inequalities receive slack
 variables, and a standard two-phase simplex with Bland's anti-cycling rule is
 run on the resulting standard-form problem.
+
+Arithmetic is **fraction-free**: every constraint is scaled to integers by
+the common denominator on entry, and the tableau stores one integer row plus
+a single positive integer denominator per row (the rational entry is
+``rows[i][j] / den[i]``).  A pivot is then pure integer multiply-and-subtract
+in the style of Bareiss — the systematic factor is divided out once per row
+via a single gcd pass — instead of a `fractions.Fraction` normalisation (two
+gcds and an object allocation) per tableau cell.  Optimal values, feasibility
+and boundedness are properties of the LP itself, not of the tableau
+representation, so the results are bit-identical to the previous
+``Fraction``-based tableau; the Hypothesis differential suite in
+``tests/unit/test_simplex_integer.py`` pins the two implementations against
+each other on random LPs.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Mapping, Sequence
@@ -48,103 +61,177 @@ class ExactLpResult:
 
 
 class _Tableau:
-    """Dense simplex tableau over exact rationals.
+    """Fraction-free integer simplex tableau with per-row denominators.
 
-    Rows are constraints ``sum a_ij x_j = b_i`` with ``b_i >= 0``; the last row
-    is the (negated) objective.  ``basis[i]`` is the column basic in row ``i``.
+    Row ``i`` holds integers ``rows[i]`` and ``rhs[i]`` plus a positive
+    integer ``den[i]``; the rational tableau entry is ``rows[i][j] / den[i]``
+    and the basic value is ``rhs[i] / den[i]``.  Rows are constraints
+    ``sum a_ij x_j = b_i`` with ``b_i >= 0``; ``basis[i]`` is the column
+    basic in row ``i``.  All comparisons the simplex needs (signs, ratio
+    tests) are answered with integer cross-multiplication, so no rational
+    normalisation ever happens inside the pivot loop.
     """
 
-    def __init__(self, rows: list[list[Fraction]], rhs: list[Fraction], basis: list[int]):
+    __slots__ = ("rows", "rhs", "den", "basis", "ncols")
+
+    def __init__(self, rows: list[list[int]], rhs: list[int], basis: list[int]):
         self.rows = rows
         self.rhs = rhs
+        self.den = [1] * len(rows)
         self.basis = basis
         self.ncols = len(rows[0]) if rows else 0
+
+    def _reduce_row(self, r: int) -> None:
+        """Divide row ``r`` by the gcd of its entries and denominator.
+
+        This is the fraction-free analogue of `Fraction` normalisation, paid
+        once per row per pivot instead of once per cell per operation; it
+        keeps the integers near their minimal size so later multiplications
+        stay cheap.
+        """
+        g = math.gcd(self.den[r], self.rhs[r])
+        if g == 1:
+            return
+        for a in self.rows[r]:
+            if a:
+                g = math.gcd(g, a)
+                if g == 1:
+                    return
+        self.rows[r] = [a // g for a in self.rows[r]]
+        self.rhs[r] //= g
+        self.den[r] //= g
 
     def pivot(self, row: int, col: int) -> None:
         """Make ``col`` basic in ``row``.
 
-        The tableau is mostly zeros (slack and artificial columns), so every
-        update skips zero entries instead of paying a Fraction multiply-and-
-        subtract for them — the values produced are identical.
+        The tableau is mostly zeros (slack and artificial columns), so rows
+        with a zero entry in the pivot column are skipped entirely — their
+        rational values are unchanged and, with per-row denominators, so is
+        their integer representation.
         """
-        pivot_value = self.rows[row][col]
-        if pivot_value != 1:
-            inv = Fraction(1) / pivot_value
-            self.rows[row] = [a * inv if a else a for a in self.rows[row]]
-            self.rhs[row] *= inv
         pivot_row = self.rows[row]
+        p = pivot_row[col]
+        if p < 0:
+            # Only reachable from the drive-artificials-out path, where the
+            # row's basic value is exactly zero, so flipping the equality
+            # row's sign keeps the right-hand side non-negative.
+            pivot_row = self.rows[row] = [-a for a in pivot_row]
+            self.rhs[row] = -self.rhs[row]
+            p = -p
+        pivot_rhs = self.rhs[row]
         for r in range(len(self.rows)):
             if r == row:
                 continue
             factor = self.rows[r][col]
             if factor == 0:
                 continue
+            # true' = true_r - (factor/den_r) * (pivot_row/p)
+            #       = (rows_r * p - factor * pivot_row) / (den_r * p)
             self.rows[r] = [
-                a - factor * p if p else a
-                for a, p in zip(self.rows[r], pivot_row)
+                a * p - factor * b if b else a * p
+                for a, b in zip(self.rows[r], pivot_row)
             ]
-            self.rhs[r] -= factor * self.rhs[row]
+            self.rhs[r] = self.rhs[r] * p - factor * pivot_rhs
+            self.den[r] *= p
+            self._reduce_row(r)
+        # The pivot row is divided by the pivot value, which with per-row
+        # denominators is just a denominator change: rows/den / (p/den) = rows/p.
+        self.den[row] = p
+        self._reduce_row(row)
         self.basis[row] = col
 
-    def optimize(self, objective: list[Fraction], allowed: set[int]) -> tuple[str, Fraction]:
-        """Maximize ``objective`` over the current feasible basis.
+    def optimize(
+        self, obj_num: list[int], obj_den: int, allowed_cols: Sequence[int]
+    ) -> tuple[str, Fraction]:
+        """Maximize the objective ``obj_num / obj_den`` over the current basis.
 
-        ``allowed`` restricts which columns may enter the basis (used to keep
-        artificial variables out in phase 2).  Returns (status, value) where
-        value is the optimal objective value when status == 'optimal'.
+        ``allowed_cols`` restricts (in ascending order, for Bland's rule)
+        which columns may enter the basis — used to keep artificial variables
+        out in phase 2.  Returns (status, value) where value is the optimal
+        objective value when status == 'optimal'.
         """
-        # Reduced costs: z_j - c_j computed incrementally via the usual
-        # "objective row" trick: maintain obj_row = c - sum over basic rows.
-        obj_row = list(objective)
-        obj_value = Fraction(0)
+        # Reduced costs: maintain the objective row as one integer vector
+        # over its own positive denominator, priced out against the basic
+        # rows exactly like the classic "objective row" trick.
+        onum = list(obj_num)
+        oden = obj_den
+        val_num = 0  # -(objective of the basic solution), over oden
         for i, basic_col in enumerate(self.basis):
-            coeff = obj_row[basic_col]
+            coeff = onum[basic_col]
             if coeff == 0:
                 continue
-            obj_row = [
-                a - coeff * b if b else a for a, b in zip(obj_row, self.rows[i])
-            ]
-            obj_value -= coeff * self.rhs[i]
-        # obj_value currently holds -(objective of the basic solution).
+            d = self.den[i]
+            onum = [a * d - coeff * b if b else a * d for a, b in zip(onum, self.rows[i])]
+            val_num = val_num * d - coeff * self.rhs[i]
+            oden *= d
+            onum, val_num, oden = _reduce_objective(onum, val_num, oden)
         while True:
             entering = None
-            for col in range(self.ncols):
-                if col in allowed and obj_row[col] > 0:
-                    entering = col  # Bland: smallest index with positive reduced cost
+            for col in allowed_cols:
+                if onum[col] > 0:  # Bland: smallest index, sign via numerator
+                    entering = col
                     break
             if entering is None:
-                return "optimal", -obj_value
+                return "optimal", Fraction(-val_num, oden)
             leaving = None
-            best_ratio: Fraction | None = None
+            best_num = best_den = 0  # ratio rhs/a with a > 0; den cancels
             for row in range(len(self.rows)):
                 a = self.rows[row][entering]
                 if a > 0:
-                    ratio = self.rhs[row] / a
+                    num = self.rhs[row]
+                    cross = num * best_den - best_num * a
                     if (
-                        best_ratio is None
-                        or ratio < best_ratio
-                        or (ratio == best_ratio and self.basis[row] < self.basis[leaving])
+                        leaving is None
+                        or cross < 0
+                        or (cross == 0 and self.basis[row] < self.basis[leaving])
                     ):
-                        best_ratio = ratio
+                        best_num, best_den = num, a
                         leaving = row
             if leaving is None:
                 return "unbounded", Fraction(0)
-            coeff = obj_row[entering]
+            coeff = onum[entering]
             self.pivot(leaving, entering)
-            obj_row = [
-                a - coeff * b if b else a
-                for a, b in zip(obj_row, self.rows[leaving])
+            d = self.den[leaving]
+            onum = [
+                a * d - coeff * b if b else a * d
+                for a, b in zip(onum, self.rows[leaving])
             ]
-            obj_value -= coeff * self.rhs[leaving]
+            val_num = val_num * d - coeff * self.rhs[leaving]
+            oden *= d
+            onum, val_num, oden = _reduce_objective(onum, val_num, oden)
+
+
+def _reduce_objective(
+    onum: list[int], val_num: int, oden: int
+) -> tuple[list[int], int, int]:
+    """Divide the objective row by the gcd of its entries and denominator."""
+    g = math.gcd(oden, val_num)
+    if g > 1:
+        for a in onum:
+            if a:
+                g = math.gcd(g, a)
+                if g == 1:
+                    break
+    if g > 1:
+        onum = [a // g for a in onum]
+        val_num //= g
+        oden //= g
+    return onum, val_num, oden
 
 
 def _standard_form(
     objective: Mapping[Symbol, Fraction],
     constraints: Sequence[LinearConstraint],
-) -> tuple[list[list[Fraction]], list[Fraction], list[Fraction], int]:
-    """Convert to standard form ``A x = b, x >= 0`` with split free variables.
+) -> tuple[list[list[int]], list[int], list[int], int, int]:
+    """Convert to integer standard form ``A x = b, x >= 0`` with split free vars.
 
-    Returns (rows, rhs, objective_vector, n_structural_columns).
+    Every constraint is scaled by the least common multiple of its
+    coefficients' denominators (a positive factor, so the feasible set is
+    unchanged), which makes the whole tableau integral on entry.  The
+    objective is scaled the same way by its own common denominator.
+
+    Returns (rows, rhs, objective_numerators, objective_denominator,
+    n_structural_columns).
     """
     symbols = sorted(
         {s for c in constraints for s in c.symbols} | set(objective.keys()), key=str
@@ -153,27 +240,33 @@ def _standard_form(
     n_free = len(symbols)
     n_slack = sum(1 for c in constraints if c.kind is ConstraintKind.LE)
     ncols = 2 * n_free + n_slack
-    rows: list[list[Fraction]] = []
-    rhs: list[Fraction] = []
+    rows: list[list[int]] = []
+    rhs: list[int] = []
     slack_cursor = 0
     for constraint in constraints:
-        row = [Fraction(0)] * ncols
+        scale = math.lcm(
+            constraint.constant.denominator,
+            *(c.denominator for _, c in constraint.coeffs),
+        )
+        row = [0] * ncols
         for s, c in constraint.coeffs:
+            v = int(c * scale)
             j = index[s]
-            row[2 * j] += c
-            row[2 * j + 1] -= c
+            row[2 * j] = v
+            row[2 * j + 1] = -v
         if constraint.kind is ConstraintKind.LE:
-            row[2 * n_free + slack_cursor] = Fraction(1)
+            row[2 * n_free + slack_cursor] = 1
             slack_cursor += 1
-        b = -constraint.constant
         rows.append(row)
-        rhs.append(b)
-    obj = [Fraction(0)] * ncols
+        rhs.append(int(-constraint.constant * scale))
+    obj_scale = math.lcm(1, *(c.denominator for c in objective.values()))
+    obj = [0] * ncols
     for s, c in objective.items():
+        v = int(c * obj_scale)
         j = index[s]
-        obj[2 * j] += Fraction(c)
-        obj[2 * j + 1] -= Fraction(c)
-    return rows, rhs, obj, ncols
+        obj[2 * j] = v
+        obj[2 * j + 1] = -v
+    return rows, rhs, obj, obj_scale, ncols
 
 
 def _presolve(
@@ -253,13 +346,13 @@ def exact_maximize(
         if not objective:
             return ExactLpResult("optimal", offset)
         return ExactLpResult("unbounded")
-    rows, rhs, obj, ncols = _standard_form(objective, constraints)
+    rows, rhs, obj, obj_scale, ncols = _standard_form(objective, constraints)
     nrows = len(rows)
     # Phase 1: add one artificial variable per row (after flipping rows with
     # negative right-hand sides), minimize their sum.
     total_cols = ncols + nrows
-    tab_rows: list[list[Fraction]] = []
-    tab_rhs: list[Fraction] = []
+    tab_rows: list[list[int]] = []
+    tab_rhs: list[int] = []
     basis: list[int] = []
     for i in range(nrows):
         row = list(rows[i])
@@ -267,16 +360,14 @@ def exact_maximize(
         if b < 0:
             row = [-a for a in row]
             b = -b
-        row.extend(Fraction(0) for _ in range(nrows))
-        row[ncols + i] = Fraction(1)
+        row.extend(0 for _ in range(nrows))
+        row[ncols + i] = 1
         tab_rows.append(row)
         tab_rhs.append(b)
         basis.append(ncols + i)
     tableau = _Tableau(tab_rows, tab_rhs, basis)
-    phase1_obj = [Fraction(0)] * total_cols
-    for i in range(nrows):
-        phase1_obj[ncols + i] = Fraction(-1)  # maximize -(sum of artificials)
-    status, value = tableau.optimize(phase1_obj, allowed=set(range(total_cols)))
+    phase1_obj = [0] * ncols + [-1] * nrows  # maximize -(sum of artificials)
+    status, value = tableau.optimize(phase1_obj, 1, range(total_cols))
     if status != "optimal" or value < 0:
         return ExactLpResult("infeasible")
     # Drive any artificial variable that is still basic out of the basis.
@@ -288,9 +379,8 @@ def exact_maximize(
             if pivot_col is not None:
                 tableau.pivot(i, pivot_col)
     # Phase 2: maximize the real objective over structural + slack columns.
-    phase2_obj = list(obj) + [Fraction(0)] * nrows
-    allowed = set(range(ncols))
-    status, value = tableau.optimize(phase2_obj, allowed=allowed)
+    phase2_obj = list(obj) + [0] * nrows
+    status, value = tableau.optimize(phase2_obj, obj_scale, range(ncols))
     if status == "unbounded":
         return ExactLpResult("unbounded")
     return ExactLpResult("optimal", value + offset)

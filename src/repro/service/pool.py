@@ -19,6 +19,15 @@ worker that dies mid-request yields a ``crash`` result and is replaced; an
 exception inside the analysis yields an ``error`` result and the worker
 stays (its state is still consistent — warm tables are content-keyed and
 never partially updated).
+
+When the pool has a result cache, its storage backend also carries a
+persisted snapshot of the polyhedral memo tables (see
+:func:`repro.polyhedra.cache.save_snapshot`): every worker loads the
+snapshot when it starts — so a restarted ``repro serve`` or a second
+``repro bench --engine warm`` begins with the previous run's projection/LP
+memo — and merges its own tables back on clean shutdown.  Workers killed on
+the timeout/crash path skip the save; the snapshot is a best-effort warm
+start, never a correctness dependency.
 """
 
 from __future__ import annotations
@@ -40,18 +49,22 @@ from ..engine.tasks import AnalysisTask, execute_task, set_program_analyzer
 __all__ = ["WorkerPool", "PoolStats"]
 
 
-def _worker_main(connection, options: ChoraOptions) -> None:
+def _worker_main(connection, options: ChoraOptions, memo_storage=None) -> None:
     """Entry point of one warm worker: serve requests until told to stop."""
     from ..core import IncrementalAnalyzer, IncrementalReport
-    from ..polyhedra.cache import keep_warm
+    from ..engine.cache import code_fingerprint
+    from ..polyhedra.cache import keep_warm, load_snapshot, save_snapshot
 
     analyzer = IncrementalAnalyzer()
     previous = set_program_analyzer(analyzer.analyze)
     requests = 0
+    loaded = 0
+    if memo_storage is not None:
+        loaded = load_snapshot(memo_storage, code_fingerprint())
     try:
-        # Tell the parent start-up is done (imports paid), so request
-        # deadlines measure analysis time, not spawn time.
-        connection.send(("ready", None, {}))
+        # Tell the parent start-up is done (imports and memo snapshot paid),
+        # so request deadlines measure analysis time, not spawn time.
+        connection.send(("ready", None, {"memo_loaded": loaded}))
         with keep_warm():
             while True:
                 try:
@@ -59,6 +72,10 @@ def _worker_main(connection, options: ChoraOptions) -> None:
                 except (EOFError, OSError):
                     break
                 if message is None:
+                    # Clean shutdown: merge this worker's memo tables into
+                    # the shared snapshot for the next pool to load.
+                    if memo_storage is not None:
+                        save_snapshot(memo_storage, code_fingerprint())
                     break
                 requests += 1
                 started = time.perf_counter()
@@ -72,14 +89,27 @@ def _worker_main(connection, options: ChoraOptions) -> None:
                         "requests": requests,
                         "incremental": analyzer.last_report.to_dict(),
                     }
-                    connection.send(("ok", payload, meta))
+                    reply = ("ok", payload, meta)
                 except BaseException:
                     meta = {
                         "worker_seconds": round(time.perf_counter() - started, 4),
                         "requests": requests,
                     }
+                    reply = ("error", traceback.format_exc(limit=20), meta)
+                try:
+                    connection.send(reply)
+                except BaseException:
+                    # The payload failed to serialize; report that as this
+                    # request's error instead of dying mid-send (which the
+                    # parent would misread as a worker crash).
                     connection.send(
-                        ("error", traceback.format_exc(limit=20), meta)
+                        (
+                            "error",
+                            "the task succeeded but its result payload could"
+                            " not be serialized for the parent process:\n"
+                            + traceback.format_exc(limit=20),
+                            meta,
+                        )
                     )
     finally:
         set_program_analyzer(previous)
@@ -89,22 +119,27 @@ def _worker_main(connection, options: ChoraOptions) -> None:
 class _WarmWorker:
     """Parent-side handle of one warm worker process."""
 
-    __slots__ = ("process", "connection", "served", "ready")
+    __slots__ = ("process", "connection", "served", "ready", "memo_loaded")
 
     #: Ceiling on worker start-up (interpreter + sympy import for spawned
     #: replacements); forked workers signal readiness in milliseconds.
     STARTUP_TIMEOUT = 300.0
 
-    def __init__(self, context, options: ChoraOptions):
+    #: Grace period for a clean stop: the worker may be merging and writing
+    #: its memo snapshot, which must not be cut short by an impatient kill.
+    SHUTDOWN_GRACE = 30.0
+
+    def __init__(self, context, options: ChoraOptions, memo_storage=None):
         parent_end, child_end = context.Pipe(duplex=True)
         self.process = context.Process(
-            target=_worker_main, args=(child_end, options), daemon=True
+            target=_worker_main, args=(child_end, options, memo_storage), daemon=True
         )
         self.process.start()
         child_end.close()
         self.connection = parent_end
         self.served = 0
         self.ready = False
+        self.memo_loaded = 0
 
     def _await_ready(self) -> None:
         """Consume the start-up handshake (once per worker lifetime)."""
@@ -123,6 +158,8 @@ class _WarmWorker:
             raise ConnectionError("worker died during start-up") from error
         if not (isinstance(message, tuple) and message[0] == "ready"):
             raise ConnectionError(f"unexpected start-up message {message!r}")
+        meta = message[2] if len(message) > 2 and isinstance(message[2], dict) else {}
+        self.memo_loaded = int(meta.get("memo_loaded", 0) or 0)
         self.ready = True
 
     def request(self, task: AnalysisTask, timeout: Optional[float]):
@@ -149,6 +186,16 @@ class _WarmWorker:
                         "worker died mid-request"
                         f" (exit code {self.process.exitcode})"
                     ) from error
+                except BaseException:
+                    # The worker replied but the payload failed to
+                    # deserialize on this side; the worker itself is alive
+                    # and consistent, so report an error result and keep it.
+                    reply = (
+                        "error",
+                        "the worker's result payload could not be"
+                        " deserialized:\n" + traceback.format_exc(limit=20),
+                        {},
+                    )
                 self.served += 1
                 return reply
             if not self.process.is_alive():
@@ -163,12 +210,17 @@ class _WarmWorker:
                 raise TimeoutError
 
     def stop(self) -> None:
-        """Ask the worker to exit cleanly; escalate if it does not."""
+        """Ask the worker to exit cleanly; escalate if it does not.
+
+        A cleanly stopping worker saves its memo snapshot first, so the
+        join waits :data:`SHUTDOWN_GRACE` (a worker that exits immediately
+        costs nothing; one that hangs is still killed).
+        """
         try:
             self.connection.send(None)
         except (OSError, ValueError):
             pass
-        self.process.join(1)
+        self.process.join(self.SHUTDOWN_GRACE)
         self.kill()
 
     def kill(self) -> None:
@@ -218,7 +270,9 @@ class WorkerPool:
     workers:
         Number of long-lived worker processes.
     timeout:
-        Per-request deadline in seconds (``None`` disables it).
+        Per-request deadline in seconds.  ``None`` disables it; ``0`` is an
+        immediate deadline (cache hits still serve, everything else times
+        out without engaging a worker).
     options:
         The :class:`ChoraOptions` every request is analysed under.
     cache:
@@ -238,6 +292,10 @@ class WorkerPool:
         self.timeout = timeout
         self.options = options
         self.cache = cache
+        # The polyhedral memo snapshot lives in its own namespace of the
+        # result cache's storage backend: workers load it on start and merge
+        # their tables back on clean shutdown, so warmth survives restarts.
+        self.memo_storage = cache.memo_storage() if cache is not None else None
         self.stats = PoolStats()
         methods = multiprocessing.get_all_start_methods()
         # Fork shares the parent's warm module state (sympy, parsed code)
@@ -254,7 +312,9 @@ class WorkerPool:
 
     # ------------------------------------------------------------------ #
     def _add_worker(self, context=None) -> None:
-        worker = _WarmWorker(context or self._context, self.options)
+        worker = _WarmWorker(
+            context or self._context, self.options, self.memo_storage
+        )
         self._all.append(worker)
         self._idle.put(worker)
 
@@ -289,6 +349,15 @@ class WorkerPool:
                 with self._stats_lock:
                     self.stats.cache_hits += 1
                 return self._ok_result(task, payload, 0.0, cache_hit=True)
+
+        if self.timeout == 0:
+            # An immediate deadline: report the timeout without engaging (and
+            # then having to kill and replace) a perfectly healthy worker.
+            with self._stats_lock:
+                self.stats.timeouts += 1
+            return self._failed_result(
+                task, "timeout", 0.0, "exceeded the 0s deadline"
+            )
 
         worker = self._idle.get()
         started = time.monotonic()
@@ -337,6 +406,17 @@ class WorkerPool:
         with ThreadPoolExecutor(max_workers=self.workers) as executor:
             for future in [executor.submit(work, i) for i in range(len(tasks))]:
                 future.result()
+        # Account for every task: a slot no result landed in becomes an
+        # explicit error record rather than silently shrinking the report.
+        for index, task in enumerate(tasks):
+            if results[index] is None:
+                results[index] = self._failed_result(
+                    task,
+                    "error",
+                    0.0,
+                    "no result was recorded for this task; this is a pool"
+                    " bookkeeping bug, not an analysis outcome",
+                )
         return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------ #
@@ -381,6 +461,9 @@ class WorkerPool:
         with self._stats_lock:
             snapshot = self.stats.to_dict()
         snapshot["workers"] = self.workers
+        snapshot["memo_snapshot_entries_loaded"] = sum(
+            worker.memo_loaded for worker in self._all
+        )
         return snapshot
 
     def close(self) -> None:

@@ -102,6 +102,54 @@ class TestFastCommands:
         cheap = cache.stats(per_suite=False)
         assert cheap["entries"] == 3 and "suites" not in cheap
 
+    def test_timeout_zero_is_an_immediate_deadline(self, capsys, tmp_path):
+        program = tmp_path / "toy.c"
+        program.write_text(TRIVIAL, encoding="utf-8")
+        code, out, err = run_cli(
+            capsys,
+            "analyze",
+            str(program),
+            "--no-cache",
+            "--timeout",
+            "0",
+        )
+        # 0 seconds means "time out immediately", never "no deadline".
+        assert code == 1
+        assert "timeout" in (out + err)
+
+    def test_negative_timeout_is_rejected(self, capsys, tmp_path):
+        program = tmp_path / "toy.c"
+        program.write_text(TRIVIAL, encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(capsys, "analyze", str(program), "--timeout", "-1")
+        assert excinfo.value.code == 2
+        assert "timeout must be >= 0" in capsys.readouterr().err
+
+    def test_cache_stats_reports_memo_snapshot(self, capsys, tmp_path):
+        from repro.engine import ResultCache
+        from repro.engine.cache import code_fingerprint
+        from repro.polyhedra import cache as memo
+
+        code, out, _ = run_cli(capsys, "cache", "stats", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "polyhedra memo snapshot: none" in out
+
+        cache = ResultCache(tmp_path)
+        memo.clear_caches(force=True)
+        memo.register_cache("lp.entails").lookup(("k",), lambda: True)
+        memo.save_snapshot(cache.memo_storage(), code_fingerprint())
+        memo.clear_caches(force=True)
+        code, out, _ = run_cli(capsys, "cache", "stats", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "polyhedra memo snapshot:" in out
+        assert "lp.entails: 1" in out
+
+        code, out, _ = run_cli(capsys, "cache", "clear", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "memo snapshot" in out
+        code, out, _ = run_cli(capsys, "cache", "stats", "--cache-dir", str(tmp_path))
+        assert "polyhedra memo snapshot: none" in out
+
     def test_module_entry_point(self, tmp_path):
         src = Path(__file__).resolve().parents[2] / "src"
         environment = dict(os.environ)

@@ -122,6 +122,38 @@ class TestWorkerPool:
         assert dict(second.payload) == dict(first.payload)
         assert cache.stats()["suites"] == {"toy": 1}
 
+    def test_timeout_zero_is_immediate_and_keeps_the_worker(self):
+        task = AnalysisTask(name="toy", source=TRIVIAL, kind="assertion")
+        with WorkerPool(workers=1, timeout=0) as pool:
+            result = pool.submit(task)
+            stats = pool.stats_dict()
+        assert result.outcome == "timeout"
+        assert "0s deadline" in result.detail
+        # The deadline fires before a worker is engaged, so none is killed.
+        assert stats["restarts"] == 0
+        assert stats["timeouts"] == 1
+
+    def test_memo_snapshot_survives_a_pool_restart(self, tmp_path):
+        from repro.polyhedra.cache import clear_caches
+
+        # Forked workers inherit this process's memo tables; start them
+        # empty so the snapshot accounting below is exact.
+        clear_caches(force=True)
+        task = AnalysisTask(name="toy", source=TRIVIAL, kind="assertion")
+        cache = ResultCache(tmp_path)
+        with WorkerPool(workers=1, cache=cache) as pool:
+            assert pool.submit(task).outcome == "ok"
+        stats = cache.memo_snapshot_stats()
+        assert stats["present"] and stats["entries"] > 0
+        # A fresh pool (a service restart) loads the persisted memo tables;
+        # a distinct program keeps the request off the result-cache path so
+        # a worker is actually engaged.
+        other = AnalysisTask(name="toy2", source=CHAIN, kind="assertion")
+        with WorkerPool(workers=1, cache=cache) as pool:
+            assert pool.submit(other).outcome == "ok"
+            loaded = pool.stats_dict()["memo_snapshot_entries_loaded"]
+        assert loaded == stats["entries"]
+
     def test_run_preserves_task_order(self):
         tasks = [
             AnalysisTask(name=f"t{i}", source=TRIVIAL, kind="assertion")

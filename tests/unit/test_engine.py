@@ -239,7 +239,102 @@ class TestBatchEngine:
         assert totals["total"] == 2
         assert totals["ok"] == 1
         assert totals["error"] == 1
+        assert totals["crash"] == 0
         assert totals["cache_hits"] == 0
+
+    def test_summarize_batch_counts_crash_separately_from_error(self):
+        results = BatchEngine(jobs=2).run(
+            [
+                _task("a", "test-echo"),
+                _task("b", "test-error"),
+                _task("c", "test-crash"),
+            ]
+        )
+        totals = summarize_batch(results)
+        assert totals["total"] == 3
+        assert totals["error"] == 1
+        assert totals["crash"] == 1
+        by_name = {result.name: result.outcome for result in results}
+        assert by_name == {"a": "ok", "b": "error", "c": "crash"}
+
+
+@register_kind("test-unpicklable")
+def _unpicklable_runner(task, options):
+    # Lambdas cannot be pickled: the worker's result send must fail, and the
+    # failure must come back as this task's error, not as a crash.
+    return {"bad": lambda x: x}
+
+
+class _ExplodesOnLoad:
+    """Pickles fine in the worker, raises while unpickling in the parent."""
+
+    def __reduce__(self):
+        return (eval, ("1/0",))
+
+
+@register_kind("test-unpicklable-on-load")
+def _unpicklable_on_load_runner(task, options):
+    return {"bad": _ExplodesOnLoad()}
+
+
+class TestSerializationFailureReporting:
+    """A payload the pipe cannot carry is an *error*, never a crash."""
+
+    def test_unserializable_payload_is_an_error_with_traceback(self):
+        result = BatchEngine().run([_task("bad", "test-unpicklable")])[0]
+        assert result.outcome == "error"
+        assert "could not be serialized" in result.detail
+        # The traceback of the failed pickle is included for debugging.
+        assert "pickle" in result.detail.lower() or "Traceback" in result.detail
+
+    def test_undeserializable_payload_is_an_error_not_a_batch_crash(self):
+        # The reply deserializes badly in the *parent*; the batch must
+        # neither raise nor misreport the worker as crashed.
+        results = BatchEngine(jobs=2).run(
+            [_task("bad", "test-unpicklable-on-load"), _task("good", "test-echo")]
+        )
+        by_name = {result.name: result for result in results}
+        assert by_name["good"].outcome == "ok"
+        assert by_name["bad"].outcome == "error"
+        assert "could not be deserialized" in by_name["bad"].detail
+
+
+class TestTimeoutZero:
+    """``timeout=0`` is an immediate deadline, not a disabled one."""
+
+    def test_zero_timeout_times_out(self):
+        engine = BatchEngine(timeout=0)
+        result = engine.run([_task("slow", "test-sleep", seconds=60)])[0]
+        assert result.outcome == "timeout"
+        assert "0s deadline" in result.detail
+        assert result.wall_time < 30
+
+    def test_none_timeout_still_disables_the_deadline(self):
+        engine = BatchEngine(timeout=None)
+        result = engine.run([_task("quick", "test-echo")])[0]
+        assert result.outcome == "ok"
+
+
+class TestNoSilentlyShrunkenReports:
+    def test_unfilled_slot_becomes_an_explicit_error_record(self):
+        class DroppingEngine(BatchEngine):
+            """Simulates a result that never lands in its slot."""
+
+            def _reap(self, running, finish):
+                def dropping_finish(index, result):
+                    if index != 1:
+                        finish(index, result)
+
+                super()._reap(running, dropping_finish)
+
+        tasks = [_task(name, "test-echo") for name in ("a", "b", "c")]
+        results = DroppingEngine(jobs=2).run(tasks)
+        assert [result.name for result in results] == ["a", "b", "c"]
+        assert results[0].outcome == results[2].outcome == "ok"
+        assert results[1].outcome == "error"
+        assert "no result was recorded" in results[1].detail
+        totals = summarize_batch(results)
+        assert totals["total"] == len(tasks)
 
 
 class TestTaskProtocol:

@@ -135,5 +135,15 @@ class TestMergeFromSharedStore:
         merged = merged_shard_results(
             tasks, [], [], foreign, shared, options, count
         )
-        assert merged and all(result.outcome == "pending" for result in merged)
-        assert all("shard" in result.detail for result in merged)
+        # The merged report always covers the whole suite: foreign tasks are
+        # pending on their owning shard, and tasks this call claimed nothing
+        # about surface as explicit errors instead of silently disappearing.
+        assert [result.name for result in merged] == [task.name for task in tasks]
+        foreign_positions = {position for position, _ in foreign}
+        for position, result in enumerate(merged):
+            if position in foreign_positions:
+                assert result.outcome == "pending"
+                assert "shard" in result.detail
+            else:
+                assert result.outcome == "error"
+                assert "no result was recorded" in result.detail
