@@ -5,7 +5,8 @@
     repro analyze FILE [--procedure P] [--cost-variable V] [--sub k=v ...]
     repro bench --suite table1|fig3|table2|all [--tool chora|icra|unrolling]
                 [--depth N] [--jobs N] [--full] [--json]
-                [--engine pool|warm] [--shard I/N]
+                [--engine pool|warm] [--shard I/N] [--memo-snapshot]
+    repro batch --url URL (--suite NAME | --tasks FILE) [--json]
     repro serve [--host H] [--port P] [--workers N] [--timeout S]
     repro profile [--suite NAME|all] [--micro] [--engines] [--check]
                   [--threshold PCT]
@@ -19,11 +20,16 @@ through the batch engine: programs run concurrently in worker processes,
 results are cached on disk, and a pathological program can at worst time out
 — never sink the batch; ``--tool`` swaps in one of the paper's comparison
 baselines, ``--engine warm`` serves the batch from long-lived warm workers
-instead of one process per task, and ``--shard i/n`` runs one deterministic
+instead of one process per task, ``--shard i/n`` runs one deterministic
 slice of the suite and merges the other shards' results from the shared
-result cache.  ``serve`` starts the warm analysis service: an HTTP endpoint
-whose ``POST /analyze`` accepts program source and returns the same JSON
-records as ``repro analyze --json``.  ``profile`` records cold suite
+result cache, and ``--memo-snapshot`` (default on with a cache) lets cold
+forks warm-start from the persisted polyhedral memo snapshot.  ``serve``
+starts the warm analysis service: an HTTP endpoint whose ``POST /analyze``
+accepts program source and returns the same JSON records as ``repro
+analyze --json`` and whose ``POST /batch`` runs whole suites; ``batch`` is
+the matching client — it sends a suite (or an inline task list) to a
+remote service and renders the records exactly like ``repro bench``.
+``profile`` records cold suite
 timings, hull/projection micro-benchmark timings and (with ``--engines``)
 cold-vs-warm engine comparisons into the append-only
 ``benchmarks/perf/BENCH_*.json`` history and, with ``--check``, fails on
@@ -154,7 +160,62 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
-    _engine_arguments(serve, jobs=False, json_flag=False)
+    _engine_arguments(serve, jobs=False, json_flag=False, memo_flag=False)
+
+    batch = commands.add_parser(
+        "batch",
+        help="send a suite (or inline tasks) to a remote repro serve /batch",
+    )
+    batch.add_argument(
+        "--url",
+        required=True,
+        metavar="URL",
+        help="base URL of a running analysis service, e.g."
+        " http://127.0.0.1:8734",
+    )
+    batch.add_argument(
+        "--suite",
+        choices=sorted(suite_names()) + ["all"],
+        default=None,
+        help="suite to run remotely (the service resolves it from its own"
+        " benchmark registry)",
+    )
+    batch.add_argument(
+        "--full",
+        action="store_true",
+        help="include the slow rows (resolved by the service)",
+    )
+    batch.add_argument(
+        "--tool",
+        choices=sorted(TOOLS),
+        default="chora",
+        help="analyser the service should run the suite with (default: chora)",
+    )
+    batch.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="unrolling depth for --tool unrolling (default: the unroller's)",
+    )
+    batch.add_argument(
+        "--tasks",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="send an inline task list instead of a suite: a JSON list of"
+        " /analyze-shaped task objects (mutually exclusive with --suite)",
+    )
+    batch.add_argument(
+        "--http-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="client-side HTTP timeout for the whole batch (default: 600)",
+    )
+    batch.add_argument(
+        "--json", action="store_true", help="emit the service's JSON document"
+    )
 
     profile = commands.add_parser(
         "profile",
@@ -260,7 +321,10 @@ def _timeout_seconds(text: str) -> float:
 
 
 def _engine_arguments(
-    parser: argparse.ArgumentParser, jobs: bool, json_flag: bool = True
+    parser: argparse.ArgumentParser,
+    jobs: bool,
+    json_flag: bool = True,
+    memo_flag: bool = True,
 ) -> None:
     if jobs:
         parser.add_argument(
@@ -287,6 +351,14 @@ def _engine_arguments(
         default=None,
         help="result cache location (default: REPRO_CACHE_DIR or ~/.cache/repro-chora)",
     )
+    if memo_flag:
+        parser.add_argument(
+            "--memo-snapshot",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="warm-start worker forks from the persisted polyhedral memo"
+            " snapshot (default: on whenever the result cache is enabled)",
+        )
     if json_flag:
         parser.add_argument(
             "--json", action="store_true", help="emit machine-readable JSON"
@@ -304,6 +376,7 @@ def _make_engine(arguments: argparse.Namespace) -> BatchEngine:
             directory=arguments.cache_dir,
         ),
         options=ChoraOptions(),
+        memo_snapshot=getattr(arguments, "memo_snapshot", None),
     )
 
 
@@ -403,21 +476,27 @@ def _command_bench(arguments: argparse.Namespace) -> int:
             print(f"  {result.name}: {_verdict(result)}", flush=True)
 
     if arguments.engine == "warm":
-        from .service import WorkerPool
+        from .service import WorkerPool, run_batch
 
         with WorkerPool(
             workers=arguments.jobs,
             timeout=arguments.timeout,
             options=options,
             cache=cache,
+            memo_snapshot=arguments.memo_snapshot,
         ) as pool:
-            results = pool.run(run_tasks, progress=progress)
+            # The same suite-serving path POST /batch uses, so a local warm
+            # bench and a served suite return identical records.
+            results, _ = run_batch(
+                pool, run_tasks, suite=arguments.suite, progress=progress
+            )
     else:
         engine = BatchEngine(
             jobs=arguments.jobs,
             timeout=arguments.timeout,
             cache=cache,
             options=options,
+            memo_snapshot=arguments.memo_snapshot,
         )
         results = engine.run(run_tasks, progress=progress)
 
@@ -445,31 +524,7 @@ def _command_bench(arguments: argparse.Namespace) -> int:
             )
         )
     else:
-        print()
-        print(
-            format_table(
-                ["benchmark", "suite", "kind", "outcome", "verdict", "time", "cache"],
-                [
-                    [
-                        result.name,
-                        result.suite or "-",
-                        result.kind,
-                        result.outcome,
-                        _verdict(result),
-                        f"{result.wall_time:.2f}s",
-                        "hit" if result.cache_hit else "-",
-                    ]
-                    for result in results
-                ],
-            )
-        )
-        pending = f", {totals['pending']} pending" if totals["pending"] else ""
-        crash = f", {totals['crash']} crash" if totals["crash"] else ""
-        print(
-            f"\n{totals['ok']}/{totals['total']} ok, {totals['proved']} proved, "
-            f"{totals['timeout']} timeout, {totals['error']} error{crash}{pending}, "
-            f"{totals['cache_hits']} cache hits, {totals['wall_time']:.2f}s total"
-        )
+        _print_batch_report(results, totals)
     if totals["error"] or totals["crash"]:
         return 1
     # Exit 3 distinguishes "this shard succeeded but the merged suite is
@@ -480,24 +535,161 @@ def _command_bench(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _print_batch_report(results, totals: dict) -> None:
+    """The human-readable table + summary line shared by bench and batch."""
+    print()
+    print(
+        format_table(
+            ["benchmark", "suite", "kind", "outcome", "verdict", "time", "cache"],
+            [
+                [
+                    result.name,
+                    result.suite or "-",
+                    result.kind,
+                    result.outcome,
+                    _verdict(result),
+                    f"{result.wall_time:.2f}s",
+                    "hit" if result.cache_hit else "-",
+                ]
+                for result in results
+            ],
+        )
+    )
+    # Defaults: local engines always fill every counter, but this also
+    # renders responses from a remote service of another version.
+    def count(key: str):
+        value = totals.get(key)
+        return value if isinstance(value, (int, float)) else 0
+
+    pending = f", {count('pending')} pending" if count("pending") else ""
+    crash = f", {count('crash')} crash" if count("crash") else ""
+    print(
+        f"\n{count('ok')}/{count('total')} ok, {count('proved')} proved, "
+        f"{count('timeout')} timeout, {count('error')} error{crash}{pending}, "
+        f"{count('cache_hits')} cache hits, {count('wall_time'):.2f}s total"
+    )
+
+
+def _command_batch(arguments: argparse.Namespace) -> int:
+    """Client mode: run a suite on a remote ``repro serve`` via POST /batch."""
+    import urllib.error
+    import urllib.request
+
+    if (arguments.suite is None) == (arguments.tasks is None):
+        print(
+            "repro batch: pass exactly one of --suite NAME or --tasks FILE",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.tasks is not None:
+        # An inline task list carries its own kind/params per task; suite
+        # options silently doing nothing would mislabel measurements.
+        if arguments.tool != "chora" or arguments.depth is not None or arguments.full:
+            print(
+                "repro batch: --tool/--depth/--full apply to --suite runs;"
+                " inline --tasks objects set their own kind and params",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            items = json.loads(arguments.tasks.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"repro batch: cannot read {arguments.tasks}: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(items, list):
+            print(
+                f"repro batch: {arguments.tasks} must hold a JSON list of"
+                " task objects",
+                file=sys.stderr,
+            )
+            return 2
+        body: dict = {"tasks": items}
+    else:
+        body = {
+            "suite": arguments.suite,
+            "full": arguments.full or full_bench_enabled(),
+            "tool": arguments.tool,
+        }
+        if arguments.depth is not None:
+            body["depth"] = arguments.depth
+    request = urllib.request.Request(
+        arguments.url.rstrip("/") + "/batch",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(
+            request, timeout=arguments.http_timeout
+        ) as response:
+            document = json.load(response)
+    except urllib.error.HTTPError as error:
+        # The error body is whatever the service (or a proxy in front of
+        # it) sent; only a JSON object with an "error" field is quotable.
+        try:
+            payload = json.load(error)
+            detail = payload.get("error", "") if isinstance(payload, dict) else ""
+        except (ValueError, OSError):
+            detail = ""
+        print(
+            f"repro batch: the service answered {error.code}"
+            + (f": {detail}" if detail else ""),
+            file=sys.stderr,
+        )
+        return 2
+    except (urllib.error.URLError, OSError, TimeoutError) as error:
+        print(f"repro batch: cannot reach {arguments.url}: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"repro batch: malformed service response: {error}", file=sys.stderr)
+        return 2
+    try:
+        results = [BatchResult.from_dict(r) for r in document.get("results", [])]
+        totals = dict(document["totals"])
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        print(f"repro batch: malformed service response: {error}", file=sys.stderr)
+        return 2
+    if arguments.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        _print_batch_report(results, totals)
+        spliced = sum(
+            len(entry.get("reused", ()))
+            for entry in document.get("incremental", [])
+            if isinstance(entry, dict)
+        )
+        print(f"{spliced} procedure summaries spliced by the service")
+    if totals.get("error") or totals.get("crash"):
+        return 1
+    return 0
+
+
 def _command_serve(arguments: argparse.Namespace) -> int:
     from .service import serve as build_server
 
     cache = make_cache(
         no_cache=getattr(arguments, "no_cache", False), directory=arguments.cache_dir
     )
-    server = build_server(
-        host=arguments.host,
-        port=arguments.port,
-        workers=arguments.workers,
-        timeout=arguments.timeout,
-        cache=cache,
-        verbose=arguments.verbose,
-    )
+    try:
+        # serve() binds the socket before forking the pool, so a busy port
+        # fails here with nothing to clean up.
+        server = build_server(
+            host=arguments.host,
+            port=arguments.port,
+            workers=arguments.workers,
+            timeout=arguments.timeout,
+            cache=cache,
+            verbose=arguments.verbose,
+        )
+    except OSError as error:
+        print(
+            f"repro serve: cannot bind {arguments.host}:{arguments.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
     host, port = server.address
     print(
         f"repro serve: {arguments.workers} warm workers on http://{host}:{port}"
-        f" (POST /analyze, GET /healthz, GET /stats; Ctrl-C stops)",
+        f" (POST /analyze, POST /batch, GET /healthz, GET /stats; Ctrl-C stops)",
         flush=True,
     )
     try:
@@ -654,9 +846,13 @@ def _command_cache(arguments: argparse.Namespace) -> int:
     cache = ResultCache(arguments.cache_dir or default_cache_directory())
     if arguments.action == "clear":
         removed = cache.clear()
-        memo_removed = cache.clear_memo_snapshot()
-        memo = " (and the polyhedra memo snapshot)" if memo_removed else ""
-        print(f"removed {removed} cached results from {cache.directory}{memo}")
+        extras = []
+        if cache.clear_memo_snapshot():
+            extras.append("the polyhedra memo snapshot")
+        if cache.clear_incremental_store():
+            extras.append("the incremental summary store")
+        suffix = f" (and {' and '.join(extras)})" if extras else ""
+        print(f"removed {removed} cached results from {cache.directory}{suffix}")
         return 0
     stats = cache.stats()
     print(f"directory: {stats['directory']}")
@@ -673,12 +869,21 @@ def _command_cache(arguments: argparse.Namespace) -> int:
             print(f"  {table}: {count}")
     else:
         print("polyhedra memo snapshot: none")
+    store = cache.incremental_store_stats()
+    if store["present"]:
+        print(
+            f"incremental summary store: {store['components']} components"
+            f" ({store['procedures']} procedures), {store['bytes']} bytes"
+        )
+    else:
+        print("incremental summary store: none")
     return 0
 
 
 _COMMANDS = {
     "analyze": _command_analyze,
     "bench": _command_bench,
+    "batch": _command_batch,
     "serve": _command_serve,
     "profile": _command_profile,
     "suites": _command_suites,

@@ -70,6 +70,36 @@ class BatchResult:
             "payload": dict(self.payload),
         }
 
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "BatchResult":
+        """Rebuild a result from its :meth:`to_dict` record.
+
+        Used by the ``repro batch`` client to render records a remote
+        ``POST /batch`` returned with the same reporting code local engines
+        use; unknown outcomes or missing fields raise ``ValueError``.
+        """
+        try:
+            outcome = str(record["outcome"])
+            if outcome not in OUTCOMES:
+                raise ValueError(f"unknown outcome {outcome!r}")
+            payload = record.get("payload") or {}
+            if not isinstance(payload, Mapping):
+                raise ValueError('"payload" must be an object')
+            return cls(
+                name=str(record["name"]),
+                kind=str(record["kind"]),
+                outcome=outcome,
+                wall_time=float(record.get("wall_time") or 0.0),
+                cache_hit=bool(record.get("cache_hit", False)),
+                suite=record.get("suite"),
+                proved=record.get("proved"),
+                bound=record.get("bound"),
+                detail=str(record.get("detail") or ""),
+                payload=dict(payload),
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed result record: {error}") from None
+
 
 def _result_from_payload(
     task: AnalysisTask, payload: dict, wall_time: float, cache_hit: bool
@@ -100,19 +130,48 @@ def _unreported_result(task: AnalysisTask) -> BatchResult:
     )
 
 
-def _worker(task: AnalysisTask, options: ChoraOptions, connection) -> None:
+def _worker(
+    task: AnalysisTask, options: ChoraOptions, connection, memo_storage=None
+) -> None:
     """Entry point of one worker process: run the task, report once.
+
+    When ``memo_storage`` is given the fork warm-starts its polyhedral memo
+    tables from the persisted snapshot (written by warm-pool workers, see
+    :mod:`repro.polyhedra.cache`) before running: the tables are force-
+    cleared first so the fork is deterministic regardless of parent state,
+    and the task executes inside ``keep_warm`` so ``execute_task``'s
+    cold-per-task clearing keeps the loaded entries.  Memoized queries are
+    pure functions of their keys, so the snapshot changes latency, never
+    results.
 
     The result send is guarded separately from the analysis: a payload that
     fails to *serialize* (``connection.send`` pickles it) must be reported
     as an ``error`` carrying the serialization traceback, not die mid-send
     and surface as an unexplained ``crash`` in the batch report.
     """
-    try:
+
+    def run() -> tuple:
         try:
-            message = ("ok", execute_task(task, options))
+            return ("ok", execute_task(task, options))
         except BaseException:
-            message = ("error", traceback.format_exc(limit=20))
+            return ("error", traceback.format_exc(limit=20))
+
+    try:
+        if memo_storage is not None:
+            from ..polyhedra.cache import clear_caches, keep_warm, load_snapshot
+            from .cache import code_fingerprint
+
+            clear_caches(force=True)
+            try:
+                load_snapshot(memo_storage, code_fingerprint())
+            except Exception:
+                # A broken snapshot store must never sink the task; the
+                # fork simply runs cold.
+                pass
+            with keep_warm():
+                message = run()
+        else:
+            message = run()
         try:
             connection.send(message)
         except BaseException:
@@ -156,6 +215,15 @@ class BatchEngine:
         A :class:`ResultCache`, or ``None`` to disable caching.
     options:
         The :class:`ChoraOptions` every task is analysed under.
+    memo_snapshot:
+        Whether worker forks warm-start their polyhedral memo tables from
+        the snapshot persisted in the cache's ``memo`` namespace (written
+        by warm-pool runs).  ``None`` — the default — enables it exactly
+        when a cache is configured; it closes most of the cold-start gap
+        between ``--engine pool`` and ``--engine warm`` without giving up
+        per-task process isolation.  Forks only *load*; merging back is
+        the warm pool's job (many short-lived forks racing on the snapshot
+        would pay more in pickling than they could ever save).
     """
 
     def __init__(
@@ -164,11 +232,16 @@ class BatchEngine:
         timeout: Optional[float] = None,
         cache: Optional[ResultCache] = None,
         options: ChoraOptions = ChoraOptions(),
+        memo_snapshot: Optional[bool] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.cache = cache
         self.options = options
+        enabled = (cache is not None) if memo_snapshot is None else bool(memo_snapshot)
+        self.memo_storage = (
+            cache.memo_storage() if enabled and cache is not None else None
+        )
         methods = multiprocessing.get_all_start_methods()
         # Fork shares the parent's warm module state with every worker and
         # keeps ad-hoc registered task kinds visible to them.
@@ -249,7 +322,9 @@ class BatchEngine:
     def _spawn(self, task: AnalysisTask, key: Optional[str]) -> _Running:
         receiver, sender = self._context.Pipe(duplex=False)
         process = self._context.Process(
-            target=_worker, args=(task, self.options, sender), daemon=True
+            target=_worker,
+            args=(task, self.options, sender, self.memo_storage),
+            daemon=True,
         )
         started = time.monotonic()
         process.start()

@@ -200,6 +200,27 @@ class ResultCache:
 
         return self.memo_storage().delete(SNAPSHOT_NAME)
 
+    # ------------------------------------------------------------------ #
+    # The persisted incremental summary store (per-SCC procedure summaries
+    # of the warm workers, see repro.core.incremental) lives in an
+    # ``incremental`` namespace of the same backend.
+    # ------------------------------------------------------------------ #
+    def incremental_storage(self) -> CacheStorage:
+        """The storage namespace holding the incremental summary store."""
+        return self.storage.namespace("incremental")
+
+    def incremental_store_stats(self) -> dict[str, Any]:
+        """Presence/size/component counts of the incremental summary store."""
+        from ..core.incremental import store_stats
+
+        return store_stats(self.incremental_storage(), code_fingerprint())
+
+    def clear_incremental_store(self) -> bool:
+        """Remove the incremental summary store; returns whether one existed."""
+        from ..core.incremental import STORE_NAME
+
+        return self.incremental_storage().delete(STORE_NAME)
+
     def stats(self, per_suite: bool = True) -> dict[str, Any]:
         """Entry count, total size, and per-suite breakdown of the cache.
 

@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - layering: engine imports polyhedra
 
 __all__ = [
     "MemoCache",
+    "RestrictedUnpickler",
     "canonical_key",
     "canonical_system",
     "clear_caches",
@@ -51,6 +52,7 @@ __all__ = [
     "keep_warm",
     "load_snapshot",
     "register_cache",
+    "restricted_loads",
     "save_snapshot",
     "snapshot_stats",
 ]
@@ -216,13 +218,41 @@ _ALLOWED_CLASSES = {
 }
 
 
-class _SnapshotUnpickler(pickle.Unpickler):
+class RestrictedUnpickler(pickle.Unpickler):
+    """An unpickler that resolves only a caller-supplied class vocabulary.
+
+    ``allowed`` is a set of ``(module, qualname)`` pairs — enumerate the
+    concrete classes, never whole modules: a module-prefix allowlist is an
+    arbitrary-code-execution hole, because pickle's REDUCE/NEWOBJ opcodes
+    call whatever global they name and large libraries ship eval-style
+    callables (``sympy.sympify`` evaluates attacker strings).  Every class
+    on the list must also construct safely from attacker-chosen arguments;
+    for a class whose constructor is unsafe on some argument types, put a
+    validating stand-in into ``overrides`` (mapping ``(module, qualname)``
+    to the replacement callable) instead of allowing it raw.  Any other
+    global fails to resolve, so a crafted blob in a shared cache directory
+    cannot execute code on load — it reads as a cold start.
+    """
+
+    def __init__(self, file, allowed, overrides=None):
+        super().__init__(file)
+        self._allowed = allowed
+        self._overrides = overrides or {}
+
     def find_class(self, module: str, name: str):
-        if (module, name) in _ALLOWED_CLASSES:
+        override = self._overrides.get((module, name))
+        if override is not None:
+            return override
+        if (module, name) in self._allowed:
             return super().find_class(module, name)
         raise pickle.UnpicklingError(
             f"snapshot references disallowed class {module}.{name}"
         )
+
+
+def restricted_loads(data: bytes, allowed, overrides=None):
+    """``pickle.loads`` through a :class:`RestrictedUnpickler` (see above)."""
+    return RestrictedUnpickler(io.BytesIO(data), allowed, overrides).load()
 
 
 def save_snapshot(storage: "CacheStorage", fingerprint: str) -> int:
@@ -286,7 +316,7 @@ def _load_tables(storage: "CacheStorage", fingerprint: str) -> dict[str, list]:
     if data is None:
         return {}
     try:
-        payload = _SnapshotUnpickler(io.BytesIO(data)).load()
+        payload = restricted_loads(data, _ALLOWED_CLASSES)
     except Exception:
         # Truncated file, incompatible pickle, a class outside the allowed
         # vocabulary, or classes that moved since the snapshot was written:

@@ -23,6 +23,6 @@ on content and pure, so warmth changes latency, never verdicts.
 """
 
 from .pool import PoolStats, WorkerPool
-from .server import AnalysisServer, serve
+from .server import AnalysisServer, run_batch, serve
 
-__all__ = ["WorkerPool", "PoolStats", "AnalysisServer", "serve"]
+__all__ = ["WorkerPool", "PoolStats", "AnalysisServer", "run_batch", "serve"]

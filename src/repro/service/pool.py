@@ -20,14 +20,16 @@ exception inside the analysis yields an ``error`` result and the worker
 stays (its state is still consistent — warm tables are content-keyed and
 never partially updated).
 
-When the pool has a result cache, its storage backend also carries a
-persisted snapshot of the polyhedral memo tables (see
-:func:`repro.polyhedra.cache.save_snapshot`): every worker loads the
-snapshot when it starts — so a restarted ``repro serve`` or a second
-``repro bench --engine warm`` begins with the previous run's projection/LP
-memo — and merges its own tables back on clean shutdown.  Workers killed on
-the timeout/crash path skip the save; the snapshot is a best-effort warm
-start, never a correctness dependency.
+When the pool has a result cache, its storage backend also carries two
+persisted warm-state blobs: a snapshot of the polyhedral memo tables (see
+:func:`repro.polyhedra.cache.save_snapshot`) and the incremental summary
+store (:meth:`repro.core.incremental.IncrementalAnalyzer.save_store`).
+Every worker loads both when it starts — so a restarted ``repro serve`` or
+a second ``repro bench --engine warm`` begins with the previous run's
+projection/LP memo *and* answers its first repeated request by splicing
+every cached component — and merges its own state back on clean shutdown.
+Workers killed on the timeout/crash path skip the save; both blobs are a
+best-effort warm start, never a correctness dependency.
 """
 
 from __future__ import annotations
@@ -49,22 +51,53 @@ from ..engine.tasks import AnalysisTask, execute_task, set_program_analyzer
 __all__ = ["WorkerPool", "PoolStats"]
 
 
-def _worker_main(connection, options: ChoraOptions, memo_storage=None) -> None:
+def _worker_main(
+    connection, options: ChoraOptions, memo_storage=None, store_storage=None
+) -> None:
     """Entry point of one warm worker: serve requests until told to stop."""
+    import signal
+
     from ..core import IncrementalAnalyzer, IncrementalReport
     from ..engine.cache import code_fingerprint
     from ..polyhedra.cache import keep_warm, load_snapshot, save_snapshot
+
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group — the parent *and* every forked worker.  The worker must not
+    # die from it mid-``recv``: that skips the clean-shutdown save of the
+    # memo snapshot and incremental store the parent is about to request.
+    # Lifecycle belongs to the parent alone (the ``None`` stop message,
+    # escalating to SIGTERM via ``_WarmWorker.kill``).
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
 
     analyzer = IncrementalAnalyzer()
     previous = set_program_analyzer(analyzer.analyze)
     requests = 0
     loaded = 0
+    store_loaded = 0
+    # Both loads run before the ready handshake; nothing a persisted blob
+    # contains may crash the worker here (every restarted worker would die
+    # the same way until the store is cleared) — degrade to a cold start.
     if memo_storage is not None:
-        loaded = load_snapshot(memo_storage, code_fingerprint())
+        try:
+            loaded = load_snapshot(memo_storage, code_fingerprint())
+        except Exception:
+            loaded = 0
+    if store_storage is not None:
+        # Restore the previous service's per-SCC summaries, so the first
+        # repeated request after a restart splices every component.
+        try:
+            store_loaded = analyzer.load_store(store_storage, code_fingerprint())
+        except Exception:
+            store_loaded = 0
     try:
-        # Tell the parent start-up is done (imports and memo snapshot paid),
+        # Tell the parent start-up is done (imports and snapshots paid),
         # so request deadlines measure analysis time, not spawn time.
-        connection.send(("ready", None, {"memo_loaded": loaded}))
+        connection.send(
+            ("ready", None, {"memo_loaded": loaded, "store_loaded": store_loaded})
+        )
         with keep_warm():
             while True:
                 try:
@@ -72,10 +105,13 @@ def _worker_main(connection, options: ChoraOptions, memo_storage=None) -> None:
                 except (EOFError, OSError):
                     break
                 if message is None:
-                    # Clean shutdown: merge this worker's memo tables into
-                    # the shared snapshot for the next pool to load.
+                    # Clean shutdown: merge this worker's memo tables and
+                    # component store into the shared persisted copies for
+                    # the next pool to load.
                     if memo_storage is not None:
                         save_snapshot(memo_storage, code_fingerprint())
+                    if store_storage is not None:
+                        analyzer.save_store(store_storage, code_fingerprint())
                     break
                 requests += 1
                 started = time.perf_counter()
@@ -119,7 +155,14 @@ def _worker_main(connection, options: ChoraOptions, memo_storage=None) -> None:
 class _WarmWorker:
     """Parent-side handle of one warm worker process."""
 
-    __slots__ = ("process", "connection", "served", "ready", "memo_loaded")
+    __slots__ = (
+        "process",
+        "connection",
+        "served",
+        "ready",
+        "memo_loaded",
+        "store_loaded",
+    )
 
     #: Ceiling on worker start-up (interpreter + sympy import for spawned
     #: replacements); forked workers signal readiness in milliseconds.
@@ -129,10 +172,14 @@ class _WarmWorker:
     #: its memo snapshot, which must not be cut short by an impatient kill.
     SHUTDOWN_GRACE = 30.0
 
-    def __init__(self, context, options: ChoraOptions, memo_storage=None):
+    def __init__(
+        self, context, options: ChoraOptions, memo_storage=None, store_storage=None
+    ):
         parent_end, child_end = context.Pipe(duplex=True)
         self.process = context.Process(
-            target=_worker_main, args=(child_end, options, memo_storage), daemon=True
+            target=_worker_main,
+            args=(child_end, options, memo_storage, store_storage),
+            daemon=True,
         )
         self.process.start()
         child_end.close()
@@ -140,6 +187,7 @@ class _WarmWorker:
         self.served = 0
         self.ready = False
         self.memo_loaded = 0
+        self.store_loaded = 0
 
     def _await_ready(self) -> None:
         """Consume the start-up handshake (once per worker lifetime)."""
@@ -160,6 +208,7 @@ class _WarmWorker:
             raise ConnectionError(f"unexpected start-up message {message!r}")
         meta = message[2] if len(message) > 2 and isinstance(message[2], dict) else {}
         self.memo_loaded = int(meta.get("memo_loaded", 0) or 0)
+        self.store_loaded = int(meta.get("store_loaded", 0) or 0)
         self.ready = True
 
     def request(self, task: AnalysisTask, timeout: Optional[float]):
@@ -279,6 +328,12 @@ class WorkerPool:
         An optional shared :class:`ResultCache` consulted before a worker
         is engaged and populated after it answers — the same content keys
         the batch engine uses, so the service and batch runs share results.
+    memo_snapshot:
+        Whether workers use the persisted polyhedral memo snapshot (load
+        on start, merge on clean shutdown).  ``None`` — the default —
+        enables it exactly when a cache is configured; ``False`` runs the
+        pool with genuinely cold memo tables (``repro bench --engine warm
+        --no-memo-snapshot``).
     """
 
     def __init__(
@@ -287,15 +342,25 @@ class WorkerPool:
         timeout: Optional[float] = None,
         options: ChoraOptions = ChoraOptions(),
         cache: Optional[ResultCache] = None,
+        memo_snapshot: Optional[bool] = None,
     ):
         self.workers = max(1, int(workers))
         self.timeout = timeout
         self.options = options
         self.cache = cache
-        # The polyhedral memo snapshot lives in its own namespace of the
-        # result cache's storage backend: workers load it on start and merge
-        # their tables back on clean shutdown, so warmth survives restarts.
-        self.memo_storage = cache.memo_storage() if cache is not None else None
+        # The polyhedral memo snapshot and the incremental summary store
+        # live in their own namespaces of the result cache's storage
+        # backend: workers load both on start and merge their state back on
+        # clean shutdown, so warmth survives restarts.
+        memo_enabled = (
+            (cache is not None) if memo_snapshot is None else bool(memo_snapshot)
+        )
+        self.memo_storage = (
+            cache.memo_storage() if memo_enabled and cache is not None else None
+        )
+        self.incremental_storage = (
+            cache.incremental_storage() if cache is not None else None
+        )
         self.stats = PoolStats()
         methods = multiprocessing.get_all_start_methods()
         # Fork shares the parent's warm module state (sympy, parsed code)
@@ -313,7 +378,10 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     def _add_worker(self, context=None) -> None:
         worker = _WarmWorker(
-            context or self._context, self.options, self.memo_storage
+            context or self._context,
+            self.options,
+            self.memo_storage,
+            self.incremental_storage,
         )
         self._all.append(worker)
         self._idle.put(worker)
@@ -338,6 +406,17 @@ class WorkerPool:
         exactly the shape the batch engine produces, so callers (the HTTP
         server, ``repro bench --engine warm``) are engine-agnostic.
         """
+        return self.submit_with_meta(task)[0]
+
+    def submit_with_meta(self, task: AnalysisTask) -> tuple[BatchResult, dict]:
+        """Like :meth:`submit`, also returning the worker's meta dict.
+
+        The meta carries the per-request incremental splice report
+        (``meta["incremental"]``, the
+        :class:`~repro.core.incremental.IncrementalReport` shape) and the
+        worker-side timing; it is ``{}`` for requests that never engaged a
+        worker (cache hits, immediate deadlines).
+        """
         if self._closed:
             raise RuntimeError("the worker pool is closed")
         with self._stats_lock:
@@ -348,15 +427,16 @@ class WorkerPool:
             if payload is not None:
                 with self._stats_lock:
                     self.stats.cache_hits += 1
-                return self._ok_result(task, payload, 0.0, cache_hit=True)
+                return self._ok_result(task, payload, 0.0, cache_hit=True), {}
 
         if self.timeout == 0:
             # An immediate deadline: report the timeout without engaging (and
             # then having to kill and replace) a perfectly healthy worker.
             with self._stats_lock:
                 self.stats.timeouts += 1
-            return self._failed_result(
-                task, "timeout", 0.0, "exceeded the 0s deadline"
+            return (
+                self._failed_result(task, "timeout", 0.0, "exceeded the 0s deadline"),
+                {},
             )
 
         worker = self._idle.get()
@@ -368,26 +448,45 @@ class WorkerPool:
             self._replace(worker)
             with self._stats_lock:
                 self.stats.timeouts += 1
-            return self._failed_result(
-                task, "timeout", elapsed, f"exceeded the {self.timeout:g}s deadline"
+            return (
+                self._failed_result(
+                    task,
+                    "timeout",
+                    elapsed,
+                    f"exceeded the {self.timeout:g}s deadline",
+                ),
+                {},
             )
         except ConnectionError as error:
             elapsed = time.monotonic() - started
             self._replace(worker)
             with self._stats_lock:
                 self.stats.crashes += 1
-            return self._failed_result(task, "crash", elapsed, str(error))
+            return self._failed_result(task, "crash", elapsed, str(error)), {}
+        except BaseException:
+            # Any other failure between checkout and reply (a payload that
+            # cannot pickle for the send, an interrupt, a bug) leaves the
+            # worker's pipe state unknown.  Replace it rather than leak the
+            # slot: before this accounting existed, an unexpected exception
+            # here silently shrank the pool forever.
+            self._replace(worker)
+            raise
         else:
+            # The request round-trip completed; the worker is healthy and
+            # goes straight back into rotation.  Everything below this line
+            # (stats, cache writes) runs with the slot already returned, so
+            # a failure there cannot leak it either.
             self._idle.put(worker)
         elapsed = time.monotonic() - started
+        meta = meta if isinstance(meta, dict) else {}
         self._absorb_meta(meta)
         if status != "ok":
             with self._stats_lock:
                 self.stats.errors += 1
-            return self._failed_result(task, "error", elapsed, str(body))
+            return self._failed_result(task, "error", elapsed, str(body)), meta
         if key is not None and self.cache is not None:
             self.cache.put(key, body, task_name=task.name, suite=task.suite)
-        return self._ok_result(task, body, elapsed, cache_hit=False)
+        return self._ok_result(task, body, elapsed, cache_hit=False), meta
 
     def run(
         self,
@@ -395,11 +494,26 @@ class WorkerPool:
         progress: Optional[Callable[[BatchResult], None]] = None,
     ) -> list[BatchResult]:
         """Run a batch over the warm pool; results come back in task order."""
+        return self.run_with_meta(tasks, progress)[0]
+
+    def run_with_meta(
+        self,
+        tasks: Sequence[AnalysisTask],
+        progress: Optional[Callable[[BatchResult], None]] = None,
+    ) -> tuple[list[BatchResult], list[dict]]:
+        """Run a batch, returning per-task worker metas next to the results.
+
+        ``metas[i]`` is the meta dict of ``results[i]`` (see
+        :meth:`submit_with_meta`); the ``POST /batch`` route surfaces the
+        incremental splice report it carries per task.
+        """
         results: list[Optional[BatchResult]] = [None] * len(tasks)
+        metas: list[dict] = [{} for _ in tasks]
 
         def work(index: int) -> None:
-            result = self.submit(tasks[index])
+            result, meta = self.submit_with_meta(tasks[index])
             results[index] = result
+            metas[index] = meta
             if progress is not None:
                 progress(result)
 
@@ -417,7 +531,7 @@ class WorkerPool:
                     "no result was recorded for this task; this is a pool"
                     " bookkeeping bug, not an analysis outcome",
                 )
-        return [result for result in results if result is not None]
+        return [result for result in results if result is not None], metas
 
     # ------------------------------------------------------------------ #
     def _absorb_meta(self, meta: dict) -> None:
@@ -463,6 +577,9 @@ class WorkerPool:
         snapshot["workers"] = self.workers
         snapshot["memo_snapshot_entries_loaded"] = sum(
             worker.memo_loaded for worker in self._all
+        )
+        snapshot["incremental_store_components_loaded"] = sum(
+            worker.store_loaded for worker in self._all
         )
         return snapshot
 

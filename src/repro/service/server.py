@@ -11,44 +11,73 @@ standard library, threaded so slow analyses don't block health checks):
     JSON record ``repro analyze --json`` prints
     (:meth:`repro.engine.batch.BatchResult.to_dict`), with HTTP 200 even
     for ``error``/``timeout`` outcomes: the record *is* the result.
+``POST /batch``
+    Body: a whole suite — either ``{"suite": "table2"}`` (optionally with
+    ``"full"``, ``"tool"``, ``"depth"``), resolved through the benchmark
+    registry of :mod:`repro.benchlib.suites`, or an inline task list
+    ``{"tasks": [...]}`` / a bare JSON list, each element shaped like an
+    ``/analyze`` body (plus optional ``"params"`` and ``"suite"`` labels).
+    The response carries the same ordered ``BatchResult`` records ``repro
+    bench --json`` prints, the batch totals, and a per-task incremental
+    splice summary (see :func:`run_batch`).
 ``GET /healthz``
     Liveness: ``{"status": "ok", "workers": N}``.
 ``GET /stats``
     Pool counters (requests, cache hits, incremental splice totals,
     restarts) plus the result-cache stats when a cache is attached.
 
-Malformed requests get 400 with ``{"error": ...}``; unknown paths 404.
+Malformed requests get 400 with ``{"error": ...}``; unknown paths 404;
+an unexpected failure inside the pool (e.g. a closed pool during
+shutdown) gets 500 with ``{"error": ...}`` instead of a dropped
+connection.
 """
 
 from __future__ import annotations
 
 import json
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Mapping, Optional
+from typing import Any, Callable, Mapping, Optional, Sequence
 
+from ..engine.batch import BatchResult, summarize_batch
 from ..engine.cache import ResultCache
 from ..engine.config import DEFAULT_SERVICE_PORT as DEFAULT_PORT
 from ..engine.tasks import AnalysisTask
 from .pool import WorkerPool
 
-__all__ = ["AnalysisServer", "serve", "task_from_request", "DEFAULT_PORT"]
+__all__ = [
+    "AnalysisServer",
+    "serve",
+    "run_batch",
+    "task_from_request",
+    "tasks_from_batch_request",
+    "DEFAULT_PORT",
+]
 
 
-def task_from_request(body: bytes, content_type: str) -> AnalysisTask:
-    """Build the analysis task one ``POST /analyze`` request describes.
+def _integer_value(label: str, value: Any) -> int:
+    """Coerce one request field to an exact integer.
 
-    Raises ``ValueError`` on malformed bodies; the error text is what the
-    400 response carries.
+    Booleans and non-integral numbers are rejected rather than silently
+    truncated (``2.7`` used to become ``2`` and ``true`` become ``1``);
+    integral floats (``2.0``) and integer strings are accepted.  ``label``
+    names the field in the 400 error text (``substitution 'n'``,
+    ``"depth"``).
     """
-    if content_type.startswith("text/plain"):
-        data: Mapping[str, Any] = {"source": body.decode("utf-8", "replace")}
-    else:
-        try:
-            data = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise ValueError(f"request body is not valid JSON: {error}") from None
-        if not isinstance(data, dict):
-            raise ValueError("request body must be a JSON object")
+    if isinstance(value, bool):
+        raise ValueError(f"{label} must be an integer, not a boolean")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValueError(f"{label} must be an integer, got {value!r}")
+        return int(value)
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{label} must be an integer, got {value!r}") from None
+
+
+def _task_from_mapping(data: Mapping[str, Any]) -> AnalysisTask:
+    """Build one analysis task from a request-shaped JSON object."""
     source = data.get("source")
     if not isinstance(source, str) or not source.strip():
         raise ValueError('"source" must be a non-empty string of program text')
@@ -63,9 +92,22 @@ def task_from_request(body: bytes, content_type: str) -> AnalysisTask:
     else:
         raise ValueError('"substitutions" must be an object or a pair list')
     try:
-        normalized = tuple(sorted((str(name), int(value)) for name, value in pairs))
-    except (TypeError, ValueError):
-        raise ValueError('"substitutions" values must be integers') from None
+        normalized = tuple(
+            sorted(
+                (str(name), _integer_value(f"substitution {str(name)!r}", value))
+                for name, value in pairs
+            )
+        )
+    except ValueError:
+        raise
+    except TypeError:
+        raise ValueError('"substitutions" must be an object or a pair list') from None
+    params = data.get("params") or {}
+    if not isinstance(params, Mapping):
+        raise ValueError('"params" must be an object')
+    suite = data.get("suite")
+    if suite is not None and not isinstance(suite, str):
+        raise ValueError('"suite" must be a string when given')
     return AnalysisTask(
         name=str(data.get("name", "request")),
         source=source,
@@ -73,7 +115,118 @@ def task_from_request(body: bytes, content_type: str) -> AnalysisTask:
         procedure=data.get("procedure"),
         cost_variable=str(data.get("cost_variable", "cost")),
         substitutions=normalized,
+        params=tuple(sorted((str(key), value) for key, value in params.items())),
+        suite=suite,
     )
+
+
+def task_from_request(body: bytes, content_type: str) -> AnalysisTask:
+    """Build the analysis task one ``POST /analyze`` request describes.
+
+    Raises ``ValueError`` on malformed bodies; the error text is what the
+    400 response carries.
+    """
+    if content_type.startswith("text/plain"):
+        data: Mapping[str, Any] = {"source": body.decode("utf-8", "replace")}
+    else:
+        data = _json_object(body)
+        if not isinstance(data, Mapping):
+            raise ValueError("request body must be a JSON object")
+    return _task_from_mapping(data)
+
+
+def _json_object(body: bytes) -> Any:
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"request body is not valid JSON: {error}") from None
+    if not isinstance(data, (dict, list)):
+        raise ValueError("request body must be a JSON object")
+    return data
+
+
+def tasks_from_batch_request(
+    body: bytes,
+) -> tuple[Optional[str], list[AnalysisTask]]:
+    """The ``(suite label, tasks)`` one ``POST /batch`` request describes.
+
+    Two shapes are accepted (see the module docstring): a suite reference
+    resolved through :func:`repro.engine.suites.suite_tasks` — the same
+    resolver ``repro bench`` uses, so the records come back identical — or
+    an inline task list.  Raises ``ValueError`` on malformed bodies.
+    """
+    data = _json_object(body)
+    if isinstance(data, list):
+        data = {"tasks": data}
+    suite = data.get("suite")
+    if suite is not None:
+        if not isinstance(suite, str):
+            raise ValueError('"suite" must be a suite name string')
+        tool = data.get("tool", "chora")
+        if not isinstance(tool, str):
+            raise ValueError('"tool" must be a string')
+        depth = data.get("depth")
+        if depth is not None:
+            depth = _integer_value('"depth"', depth)
+        from ..engine.suites import suite_tasks
+
+        try:
+            tasks = suite_tasks(suite, bool(data.get("full", False)), tool, depth)
+        except (KeyError, ValueError) as error:
+            message = error.args[0] if error.args else str(error)
+            raise ValueError(str(message)) from None
+        return suite, tasks
+    items = data.get("tasks")
+    if not isinstance(items, list) or not items:
+        raise ValueError(
+            'batch body must be {"suite": NAME, ...}, {"tasks": [...]}'
+            " or a non-empty JSON list of task objects"
+        )
+    tasks = []
+    for index, item in enumerate(items):
+        if not isinstance(item, Mapping):
+            raise ValueError(f"task #{index} must be a JSON object")
+        try:
+            tasks.append(_task_from_mapping(item))
+        except ValueError as error:
+            raise ValueError(f"task #{index}: {error}") from None
+    return None, tasks
+
+
+def run_batch(
+    pool: WorkerPool,
+    tasks: Sequence[AnalysisTask],
+    suite: Optional[str] = None,
+    progress: Optional[Callable[[BatchResult], None]] = None,
+) -> tuple[list[BatchResult], dict[str, Any]]:
+    """Fan a task batch over the warm pool and build the batch document.
+
+    This is the single suite-serving path: the ``POST /batch`` route and
+    ``repro bench --engine warm`` both run through it, so a served suite
+    returns exactly the records a local warm bench prints.  The document
+    adds a per-task ``incremental`` splice summary (the
+    :class:`~repro.core.incremental.IncrementalReport` shape per record).
+    """
+    results, metas = pool.run_with_meta(tasks, progress=progress)
+    incremental = []
+    for task, result, meta in zip(tasks, results, metas):
+        report = meta.get("incremental") or {"analyzed": [], "reused": []}
+        incremental.append(
+            {
+                "name": task.name,
+                "cache_hit": result.cache_hit,
+                "analyzed": list(report.get("analyzed", ())),
+                "reused": list(report.get("reused", ())),
+            }
+        )
+    document = {
+        "suite": suite,
+        "engine": "warm",
+        "results": [result.to_dict() for result in results],
+        "incremental": incremental,
+        "totals": summarize_batch(results),
+    }
+    return results, document
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -81,7 +234,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # The server attribute is the ThreadingHTTPServer; its ``app`` field is
     # set by AnalysisServer before serving starts.
-    server_version = "repro-serve/1"
+    server_version = "repro-serve/2"
 
     @property
     def app(self) -> "AnalysisServer":
@@ -110,20 +263,37 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no such path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path != "/analyze":
+        if self.path not in ("/analyze", "/batch"):
             self._send_json(404, {"error": f"no such path {self.path!r}"})
             return
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
         try:
-            task = task_from_request(
-                body, self.headers.get("Content-Type", "application/json")
-            )
+            if self.path == "/analyze":
+                task = task_from_request(
+                    body, self.headers.get("Content-Type", "application/json")
+                )
+            else:
+                suite, tasks = tasks_from_batch_request(body)
         except ValueError as error:
             self._send_json(400, {"error": str(error)})
             return
-        result = self.app.pool.submit(task)
-        self._send_json(200, result.to_dict())
+        # The pool can fail out from under a request (a closed pool during
+        # shutdown raises RuntimeError, a broken storage backend can raise
+        # anything): answer 500 with the error instead of dropping the
+        # connection with a stderr traceback.
+        try:
+            if self.path == "/analyze":
+                document = self.app.pool.submit(task).to_dict()
+            else:
+                _, document = run_batch(self.app.pool, tasks, suite=suite)
+        except Exception as error:
+            detail = str(error) or error.__class__.__name__
+            if self.app.verbose:
+                traceback.print_exc()
+            self._send_json(500, {"error": detail})
+            return
+        self._send_json(200, document)
 
 
 class AnalysisServer:
@@ -136,11 +306,20 @@ class AnalysisServer:
         port: int = DEFAULT_PORT,
         cache: Optional[ResultCache] = None,
         verbose: bool = False,
+        httpd: Optional[ThreadingHTTPServer] = None,
     ):
         self.pool = pool
         self.cache = cache if cache is not None else pool.cache
         self.verbose = verbose
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        if httpd is None:
+            # Binding can fail (port already in use); the pool handed in
+            # must not leak its forked workers when it does.
+            try:
+                httpd = ThreadingHTTPServer((host, port), _Handler)
+            except BaseException:
+                pool.close()
+                raise
+        self._httpd = httpd
         self._httpd.app = self  # type: ignore[attr-defined]
 
     @property
@@ -177,6 +356,16 @@ def serve(
     cache: Optional[ResultCache] = None,
     verbose: bool = False,
 ) -> AnalysisServer:
-    """Build a ready-to-run server (the CLI calls ``serve_forever`` on it)."""
-    pool = WorkerPool(workers=workers, timeout=timeout, cache=cache)
-    return AnalysisServer(pool, host=host, port=port, verbose=verbose)
+    """Build a ready-to-run server (the CLI calls ``serve_forever`` on it).
+
+    The socket is bound *before* the worker pool is forked: a bind failure
+    (port already in use) used to leak a fully started pool of worker
+    processes that nothing would ever stop.
+    """
+    httpd = ThreadingHTTPServer((host, port), _Handler)
+    try:
+        pool = WorkerPool(workers=workers, timeout=timeout, cache=cache)
+    except BaseException:
+        httpd.server_close()
+        raise
+    return AnalysisServer(pool, verbose=verbose, httpd=httpd)

@@ -3,11 +3,15 @@
 Covers the tentpole acceptance properties: warm workers answer repeated
 requests from spliced summaries (measurably below a cold run), results
 agree with the cold engine, failures replace workers without sinking the
-service, and ``repro bench --engine warm`` / ``--shard`` round-trip through
-the CLI.
+service, ``POST /batch`` serves whole suites bit-identically to ``repro
+bench``, the incremental summary store survives a clean service restart,
+and ``repro bench --engine warm`` / ``repro batch`` / ``--shard``
+round-trip through the CLI.
 """
 
 import json
+import multiprocessing
+import socket
 import threading
 import time
 import urllib.error
@@ -18,7 +22,7 @@ import pytest
 from repro.cli import main
 from repro.engine import AnalysisTask, BatchEngine, MemoryStorage, ResultCache
 from repro.engine.tasks import register_kind
-from repro.service import AnalysisServer, WorkerPool
+from repro.service import AnalysisServer, WorkerPool, serve
 
 TRIVIAL = "int main(int n) { assume(n >= 0); int r = n + 1; assert(r >= 1); return r; }"
 
@@ -26,6 +30,14 @@ CHAIN = """
 int leaf(int n) { assume(n >= 0); return n + 1; }
 int mid(int n) { assume(n >= 0); return leaf(n) + 1; }
 int main(int n) { assume(n >= 0); int r = mid(n); assert(r >= 2); return r; }
+"""
+
+#: A call chain with a recursive component: cold analysis takes long enough
+#: (height analysis + recurrence solving) that splice-vs-cold timing
+#: comparisons sit far above scheduler noise.
+HEAVY = """
+int work(int n) { if (n <= 0) { return 0; } return work(n - 1) + 1; }
+int main(int n) { assume(n >= 0); int r = work(n); assert(r >= 0); return r; }
 """
 
 
@@ -59,7 +71,9 @@ class TestWorkerPool:
         assert dict(warm.payload) == dict(cold.payload)
 
     def test_repeated_requests_splice_and_get_faster(self):
-        task = AnalysisTask(name="toy", source=CHAIN, kind="assertion")
+        # A program with a recursive component: its cold analysis is far
+        # above scheduler noise, so the splice-vs-cold ratio is stable.
+        task = AnalysisTask(name="toy", source=HEAVY, kind="assertion")
         with WorkerPool(workers=1) as pool:
             first = pool.submit(task)
             repeat = pool.submit(task)
@@ -68,7 +82,7 @@ class TestWorkerPool:
         assert first.proved == repeat.proved
         # The repeat splices every summary: well below the from-scratch run.
         assert repeat.wall_time < first.wall_time / 2
-        assert stats["procedures_reused"] >= 3
+        assert stats["procedures_reused"] >= 2
 
     def test_edited_program_reuses_the_unchanged_procedures(self):
         edited = CHAIN.replace("return leaf(n) + 1;", "return leaf(n) + 2;")
@@ -163,6 +177,93 @@ class TestWorkerPool:
             results = pool.run(tasks)
         assert [result.name for result in results] == [task.name for task in tasks]
 
+    def test_unexpected_submit_error_never_leaks_the_worker_slot(self, monkeypatch):
+        """Regression: only Timeout/ConnectionError used to re-account the
+        worker; any other exception from ``request`` leaked the slot and
+        permanently shrank the pool (the next submit would block forever on
+        a one-worker pool)."""
+        from repro.service.pool import _WarmWorker
+
+        with WorkerPool(workers=1) as pool:
+            original = _WarmWorker.request
+
+            def explodes(self, task, timeout):
+                raise RuntimeError("surprise failure between checkout and reply")
+
+            monkeypatch.setattr(_WarmWorker, "request", explodes)
+            with pytest.raises(RuntimeError, match="surprise"):
+                pool.submit(AnalysisTask(name="boom", source=TRIVIAL, kind="assertion"))
+            monkeypatch.setattr(_WarmWorker, "request", original)
+            # The slot was replaced, not leaked: the pool still serves.
+            after = pool.submit(
+                AnalysisTask(name="toy", source=TRIVIAL, kind="assertion")
+            )
+            assert after.outcome == "ok"
+            assert pool.stats_dict()["restarts"] == 1
+
+    def test_memo_snapshot_can_be_disabled_per_pool(self, tmp_path):
+        """Regression: ``--engine warm --no-memo-snapshot`` used to be
+        silently ignored — the pool loaded the snapshot regardless."""
+        cache = ResultCache(tmp_path)
+        with WorkerPool(workers=1, cache=cache) as default_pool:
+            assert default_pool.memo_storage is not None
+        with WorkerPool(workers=1, cache=cache, memo_snapshot=False) as pool:
+            assert pool.memo_storage is None
+            # The incremental store is a separate mechanism and stays on.
+            assert pool.incremental_storage is not None
+
+    def test_workers_ignore_sigint(self):
+        """A terminal Ctrl-C signals the whole foreground process group;
+        workers dying from it would skip the clean-shutdown save of the
+        memo snapshot and incremental store (regression: they used to)."""
+        import pathlib
+        import signal
+
+        if not pathlib.Path("/proc").is_dir():
+            pytest.skip("needs /proc to inspect signal dispositions")
+        with WorkerPool(workers=1) as pool:
+            # A served request guarantees the worker finished starting up
+            # (the SIG_IGN is installed before the ready handshake).
+            assert (
+                pool.submit(
+                    AnalysisTask(name="toy", source=TRIVIAL, kind="assertion")
+                ).outcome
+                == "ok"
+            )
+            worker = pool._all[0]
+            status = pathlib.Path(f"/proc/{worker.process.pid}/status").read_text()
+            line = next(l for l in status.splitlines() if l.startswith("SigIgn"))
+            ignored = int(line.split()[1], 16)
+        assert ignored & (1 << (signal.SIGINT - 1))
+
+    def test_incremental_store_survives_a_pool_restart(self, tmp_path):
+        """Tentpole: a restarted service splices every component on its
+        first repeated request, from the persisted incremental store."""
+        cache = ResultCache(tmp_path)
+        with WorkerPool(workers=1, cache=cache) as pool:
+            assert (
+                pool.submit(
+                    AnalysisTask(name="v1", source=CHAIN, kind="assertion")
+                ).outcome
+                == "ok"
+            )
+            assert pool.stats_dict()["procedures_reused"] == 0
+        stats = cache.incremental_store_stats()
+        assert stats["present"] and stats["components"] == 3
+        # A fresh pool (a service restart); the same program under a
+        # different kind misses the result cache, so a worker actually
+        # runs — and splices every component from the restored store.
+        with WorkerPool(workers=1, cache=cache) as pool:
+            result, meta = pool.submit_with_meta(
+                AnalysisTask(name="v1", source=CHAIN, kind="analyze")
+            )
+            counters = pool.stats_dict()
+        assert result.outcome == "ok"
+        assert counters["incremental_store_components_loaded"] == 3
+        assert counters["procedures_reused"] == 3
+        assert meta["incremental"]["analyzed"] == []
+        assert set(meta["incremental"]["reused"]) == {"leaf", "mid", "main"}
+
 
 class TestAnalysisServer:
     @pytest.fixture()
@@ -224,7 +325,7 @@ class TestAnalysisServer:
 
     def test_bad_requests_get_400(self, server):
         host, port = server.address
-        for body in (b"{not json", b"{}", b'{"source": 3}'):
+        for body in (b"{not json", b"{}", b'{"source": 3}', b'["list"]'):
             request = urllib.request.Request(
                 f"http://{host}:{port}/analyze",
                 data=body,
@@ -234,11 +335,365 @@ class TestAnalysisServer:
                 urllib.request.urlopen(request, timeout=30)
             assert error.value.code == 400
 
+    def test_non_integral_substitutions_get_400(self, server):
+        """Regression: ``{"n": 2.7}`` used to be silently truncated to 2
+        and booleans accepted as 0/1."""
+        host, port = server.address
+        for substitutions in ({"n": 2.7}, {"n": True}, {"n": None}):
+            request = urllib.request.Request(
+                f"http://{host}:{port}/analyze",
+                data=json.dumps(
+                    {"source": TRIVIAL, "substitutions": substitutions}
+                ).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as error:
+                urllib.request.urlopen(request, timeout=30)
+            assert error.value.code == 400
+            assert "integer" in json.load(error.value)["error"]
+        # Integral values in any JSON spelling still work.
+        record = self._post(
+            server, {"source": TRIVIAL, "substitutions": {"n": 2.0, "m": "3"}}
+        )
+        assert record["outcome"] == "ok"
+
     def test_unknown_path_is_404(self, server):
         host, port = server.address
         with pytest.raises(urllib.error.HTTPError) as error:
             urllib.request.urlopen(f"http://{host}:{port}/nope", timeout=30)
         assert error.value.code == 404
+
+    def test_closed_pool_is_a_500_json_error_not_a_dropped_connection(self, server):
+        """Regression: an exception out of ``pool.submit`` used to escape
+        ``do_POST``, dropping the connection with a stderr traceback."""
+        server.pool.close()
+        host, port = server.address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/analyze",
+            data=json.dumps({"source": TRIVIAL}).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(request, timeout=30)
+        assert error.value.code == 500
+        assert "closed" in json.load(error.value)["error"]
+
+
+class TestBatchRoute:
+    @pytest.fixture()
+    def server(self):
+        pool = WorkerPool(workers=2)
+        server = AnalysisServer(pool, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.close()
+        thread.join(5)
+
+    def _post_batch(self, server, document):
+        host, port = server.address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/batch",
+            data=json.dumps(document).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=600) as response:
+            return json.loads(response.read())
+
+    @staticmethod
+    def _semantic(record):
+        """Everything of a result record except the run-dependent fields."""
+        return {
+            key: value
+            for key, value in record.items()
+            if key not in ("wall_time", "cache_hit")
+        }
+
+    def test_suite_by_name_is_bit_identical_to_repro_bench(self, server, capsys):
+        document = self._post_batch(server, {"suite": "table2"})
+        assert document["suite"] == "table2"
+        assert document["totals"]["ok"] == document["totals"]["total"] == 3
+        code, out, _ = run_cli(
+            capsys, "bench", "--suite", "table2", "--no-cache", "--json"
+        )
+        assert code == 0
+        bench = json.loads(out)
+        assert [self._semantic(r) for r in document["results"]] == [
+            self._semantic(r) for r in bench["results"]
+        ]
+
+    def test_per_task_incremental_splice_summary(self, server):
+        # Two copies of one program: the second splices what the first built
+        # (both land on the same worker only with workers=1, so assert on
+        # the union across the batch instead of a specific record).
+        tasks = [
+            {"name": "first", "source": CHAIN, "kind": "assertion"},
+            {"name": "second", "source": CHAIN, "kind": "analyze"},
+        ]
+        document = self._post_batch(server, {"tasks": tasks})
+        assert [entry["name"] for entry in document["incremental"]] == [
+            "first",
+            "second",
+        ]
+        for entry in document["incremental"]:
+            assert set(entry) == {"name", "cache_hit", "analyzed", "reused"}
+        touched = set()
+        for entry in document["incremental"]:
+            touched.update(entry["analyzed"])
+            touched.update(entry["reused"])
+        assert touched == {"leaf", "mid", "main"}
+
+    def test_bare_json_list_is_an_inline_task_list(self, server):
+        document = self._post_batch(
+            server, [{"source": TRIVIAL, "kind": "assertion", "name": "one"}]
+        )
+        assert document["suite"] is None
+        assert document["totals"] == {
+            "total": 1,
+            "ok": 1,
+            "proved": 1,
+            "timeout": 0,
+            "error": 0,
+            "crash": 0,
+            "pending": 0,
+            "cache_hits": 0,
+            "wall_time": document["totals"]["wall_time"],
+        }
+
+    def test_malformed_batch_bodies_get_400(self, server):
+        host, port = server.address
+        bodies = [
+            {"suite": "nope"},
+            {"suite": 3},
+            {"tasks": []},
+            {"tasks": [{"source": ""}]},
+            {"tasks": "not-a-list"},
+            {"suite": "table2", "depth": 3},  # --depth needs the unroller
+            {"suite": "table2", "depth": 2.5, "tool": "unrolling"},
+        ]
+        for body in bodies:
+            request = urllib.request.Request(
+                f"http://{host}:{port}/batch",
+                data=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as error:
+                urllib.request.urlopen(request, timeout=30)
+            assert error.value.code == 400, body
+
+
+class TestServeBindFailure:
+    def test_bind_failure_leaks_no_workers(self):
+        """Regression: ``serve()`` used to fork the pool before binding, so
+        a busy port leaked the workers forever."""
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            before = set(multiprocessing.active_children())
+            with pytest.raises(OSError):
+                serve(port=port)
+            assert set(multiprocessing.active_children()) == before
+        finally:
+            blocker.close()
+
+    def test_cli_serve_reports_the_busy_port(self, capsys):
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            code, _, err = run_cli(
+                capsys, "serve", "--port", str(port), "--workers", "1"
+            )
+            assert code == 2
+            assert "cannot bind" in err
+        finally:
+            blocker.close()
+
+
+class TestServiceRestart:
+    def _request(self, server, path, document):
+        host, port = server.address
+        request = urllib.request.Request(
+            f"http://{host}:{port}{path}",
+            data=json.dumps(document).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=600) as response:
+            return json.loads(response.read())
+
+    def _stats(self, server):
+        host, port = server.address
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/stats", timeout=30
+        ) as response:
+            return json.loads(response.read())
+
+    def test_restarted_service_splices_on_its_first_repeated_request(
+        self, tmp_path
+    ):
+        """Acceptance: serve -> stop cleanly -> serve -> the first repeated
+        request splices every component, visible in /stats."""
+        cache = ResultCache(tmp_path)
+
+        server = AnalysisServer(WorkerPool(workers=1, cache=cache), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        record = self._request(server, "/analyze", {"source": CHAIN, "kind": "assertion"})
+        assert record["outcome"] == "ok"
+        assert self._stats(server)["pool"]["procedures_reused"] == 0
+        server.shutdown()
+        server.close()  # clean stop: workers persist their stores
+        thread.join(5)
+
+        server = AnalysisServer(WorkerPool(workers=1, cache=cache), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            # Same program, different kind: misses the result cache, so the
+            # restarted worker runs — and splices everything it restored.
+            record = self._request(
+                server, "/analyze", {"source": CHAIN, "kind": "analyze"}
+            )
+            assert record["outcome"] == "ok"
+            stats = self._stats(server)["pool"]
+            assert stats["incremental_store_components_loaded"] == 3
+            assert stats["procedures_reused"] == 3
+            assert stats["procedures_analyzed"] == 0
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(5)
+
+
+class TestBatchCli:
+    @pytest.fixture()
+    def server(self):
+        pool = WorkerPool(workers=2)
+        server = AnalysisServer(pool, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.close()
+        thread.join(5)
+
+    def _url(self, server):
+        host, port = server.address
+        return f"http://{host}:{port}"
+
+    def test_remote_suite_matches_local_bench_output(self, server, capsys):
+        code, out, _ = run_cli(
+            capsys, "batch", "--url", self._url(server), "--suite", "table2", "--json"
+        )
+        assert code == 0
+        remote = json.loads(out)
+        assert remote["suite"] == "table2"
+        assert remote["totals"]["ok"] == remote["totals"]["total"] == 3
+        code, out, _ = run_cli(
+            capsys, "bench", "--suite", "table2", "--no-cache", "--json"
+        )
+        assert code == 0
+        local = json.loads(out)
+        semantic = lambda r: {  # noqa: E731
+            k: v for k, v in r.items() if k not in ("wall_time", "cache_hit")
+        }
+        assert [semantic(r) for r in remote["results"]] == [
+            semantic(r) for r in local["results"]
+        ]
+
+    def test_inline_task_file(self, server, capsys, tmp_path):
+        tasks = tmp_path / "tasks.json"
+        tasks.write_text(
+            json.dumps([{"name": "toy", "source": TRIVIAL, "kind": "assertion"}]),
+            encoding="utf-8",
+        )
+        code, out, _ = run_cli(
+            capsys, "batch", "--url", self._url(server), "--tasks", str(tasks)
+        )
+        assert code == 0
+        assert "toy" in out and "1/1 ok" in out
+
+    def test_suite_and_tasks_are_mutually_exclusive(self, server, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "batch", "--url", self._url(server))
+        assert code == 2 and "exactly one" in err
+
+    def test_suite_options_are_rejected_with_inline_tasks(
+        self, server, capsys, tmp_path
+    ):
+        """Regression: --tool/--depth/--full with --tasks used to be
+        silently ignored, mislabelling what actually ran."""
+        tasks = tmp_path / "tasks.json"
+        tasks.write_text(
+            json.dumps([{"name": "toy", "source": TRIVIAL, "kind": "assertion"}]),
+            encoding="utf-8",
+        )
+        for extra in (["--tool", "unrolling"], ["--depth", "8"], ["--full"]):
+            code, _, err = run_cli(
+                capsys,
+                "batch", "--url", self._url(server), "--tasks", str(tasks), *extra,
+            )
+            assert code == 2, extra
+            assert "--suite" in err
+
+    def test_unreachable_service_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "batch",
+            "--url",
+            "http://127.0.0.1:1",
+            "--suite",
+            "table2",
+            "--http-timeout",
+            "2",
+        )
+        assert code == 2
+        assert "cannot reach" in err
+
+    def test_service_side_errors_are_reported(self, server, capsys, tmp_path):
+        tasks = tmp_path / "tasks.json"
+        tasks.write_text(json.dumps([{"source": 5}]), encoding="utf-8")
+        code, _, err = run_cli(
+            capsys, "batch", "--url", self._url(server), "--tasks", str(tasks)
+        )
+        assert code == 2
+        assert "400" in err
+
+    def test_non_object_error_bodies_are_reported_cleanly(self, capsys):
+        """Regression: a proxy answering errors with a JSON array/string
+        body used to raise AttributeError instead of the exit-2 report."""
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        class ArrayError(BaseHTTPRequestHandler):
+            def do_POST(self):
+                body = json.dumps(["upstream unavailable"]).encode("utf-8")
+                self.send_response(503)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        httpd = HTTPServer(("127.0.0.1", 0), ArrayError)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = httpd.server_address[:2]
+            code, _, err = run_cli(
+                capsys, "batch", "--url", f"http://{host}:{port}",
+                "--suite", "table2",
+            )
+            assert code == 2
+            assert "503" in err
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(5)
 
 
 class TestWarmEngineCli:
