@@ -6,8 +6,12 @@
     repro bench --suite table1|fig3|table2|all [--tool chora|icra|unrolling]
                 [--depth N] [--jobs N] [--full] [--json]
                 [--engine pool|warm] [--shard I/N] [--memo-snapshot]
-    repro batch --url URL (--suite NAME | --tasks FILE) [--json]
+    repro batch --url URL (--suite NAME | --tasks FILE) [--deadline-ms MS]
+                [--json]
     repro serve [--host H] [--port P] [--workers N] [--timeout S]
+                [--backlog N]
+    repro loadtest --url URL [--rps N] [--duration S] [--concurrency N]
+                   [--deadline-ms MS] [--json]
     repro profile [--suite NAME|all] [--micro] [--engines] [--check]
                   [--threshold PCT]
     repro suites
@@ -24,11 +28,15 @@ instead of one process per task, ``--shard i/n`` runs one deterministic
 slice of the suite and merges the other shards' results from the shared
 result cache, and ``--memo-snapshot`` (default on with a cache) lets cold
 forks warm-start from the persisted polyhedral memo snapshot.  ``serve``
-starts the warm analysis service: an HTTP endpoint whose ``POST /analyze``
-accepts program source and returns the same JSON records as ``repro
-analyze --json`` and whose ``POST /batch`` runs whole suites; ``batch`` is
+starts the warm analysis service: an asyncio HTTP endpoint (versioned
+under ``/v1``, with keep-alive, bounded admission, per-request deadlines
+and a ``/v1/metrics`` SLO document) whose ``POST /v1/analyze`` accepts
+program source and returns the same JSON records as ``repro analyze
+--json`` and whose ``POST /v1/batch`` runs whole suites; ``batch`` is
 the matching client — it sends a suite (or an inline task list) to a
 remote service and renders the records exactly like ``repro bench``.
+``loadtest`` drives open-loop load at a running service and records the
+throughput/latency curve into ``benchmarks/perf/BENCH_service.json``.
 ``profile`` records cold suite
 timings, hull/projection micro-benchmark timings and (with ``--engines``)
 cold-vs-warm engine comparisons into the append-only
@@ -158,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of warm worker processes (default: 2)",
     )
     serve.add_argument(
+        "--backlog",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission queue length beyond the worker count: at most"
+        " workers+N analysis requests in flight before the service answers"
+        " 429 (default: 16)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     _engine_arguments(serve, jobs=False, json_flag=False, memo_flag=False)
@@ -214,7 +231,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="client-side HTTP timeout for the whole batch (default: 600)",
     )
     batch.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="server-side deadline for the whole batch (X-Repro-Deadline-Ms;"
+        " the service answers 504 past it)",
+    )
+    batch.add_argument(
         "--json", action="store_true", help="emit the service's JSON document"
+    )
+
+    loadtest = commands.add_parser(
+        "loadtest",
+        help="drive open-loop load at a running repro serve and record the"
+        " throughput/latency into BENCH_service.json",
+    )
+    loadtest.add_argument(
+        "--url",
+        required=True,
+        metavar="URL",
+        help="base URL of a running analysis service, e.g."
+        " http://127.0.0.1:8734",
+    )
+    loadtest.add_argument(
+        "--rps",
+        type=float,
+        default=20.0,
+        metavar="N",
+        help="open-loop request rate in requests/second (default: 20)",
+    )
+    loadtest.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to keep the load up (default: 10)",
+    )
+    loadtest.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="generator threads, one keep-alive connection each (default: 8)",
+    )
+    loadtest.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request X-Repro-Deadline-Ms to send (default: none)",
+    )
+    loadtest.add_argument(
+        "--program",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="program file to POST per request (default: a built-in"
+        " one-liner that exercises dispatch, not the analyzer)",
+    )
+    loadtest.add_argument(
+        "--label", default="", help="free-form label recorded with the entry"
+    )
+    loadtest.add_argument(
+        "--perf-dir",
+        type=Path,
+        default=None,
+        help="where BENCH_service.json lives (default: benchmarks/perf)",
+    )
+    loadtest.add_argument(
+        "--no-record",
+        action="store_true",
+        help="report only; do not append a BENCH_service.json entry",
+    )
+    loadtest.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
     )
 
     profile = commands.add_parser(
@@ -571,9 +662,13 @@ def _print_batch_report(results, totals: dict) -> None:
 
 
 def _command_batch(arguments: argparse.Namespace) -> int:
-    """Client mode: run a suite on a remote ``repro serve`` via POST /batch."""
-    import urllib.error
-    import urllib.request
+    """Client mode: run a suite on a remote ``repro serve`` via POST /v1/batch."""
+    from .service.client import (
+        MalformedResponse,
+        ServiceClient,
+        ServiceHTTPError,
+        ServiceUnreachable,
+    )
 
     if (arguments.suite is None) == (arguments.tasks is None):
         print(
@@ -612,35 +707,37 @@ def _command_batch(arguments: argparse.Namespace) -> int:
         }
         if arguments.depth is not None:
             body["depth"] = arguments.depth
-    request = urllib.request.Request(
-        arguments.url.rstrip("/") + "/batch",
-        data=json.dumps(body).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-    )
     try:
-        with urllib.request.urlopen(
-            request, timeout=arguments.http_timeout
-        ) as response:
-            document = json.load(response)
-    except urllib.error.HTTPError as error:
-        # The error body is whatever the service (or a proxy in front of
-        # it) sent; only a JSON object with an "error" field is quotable.
-        try:
-            payload = json.load(error)
-            detail = payload.get("error", "") if isinstance(payload, dict) else ""
-        except (ValueError, OSError):
-            detail = ""
+        with ServiceClient(arguments.url, timeout=arguments.http_timeout) as client:
+            document = client.batch(
+                body, deadline_ms=arguments.deadline_ms
+            ).document
+    except ServiceHTTPError as error:
+        # The envelope names the failure precisely; quote it.  429 and 504
+        # are the service's SLO protections doing their job, called out as
+        # such rather than reported as generic HTTP failures.
+        hint = ""
+        if error.status == 429 and error.retry_after is not None:
+            hint = f" (retry after {error.retry_after:g}s)"
+        rid = f" [{error.request_id}]" if error.request_id else ""
         print(
-            f"repro batch: the service answered {error.code}"
-            + (f": {detail}" if detail else ""),
+            f"repro batch: the service answered {error.status}"
+            f" {error.code or 'error'}: {error.message}{hint}{rid}",
             file=sys.stderr,
         )
         return 2
-    except (urllib.error.URLError, OSError, TimeoutError) as error:
+    except ServiceUnreachable as error:
         print(f"repro batch: cannot reach {arguments.url}: {error}", file=sys.stderr)
         return 2
-    except json.JSONDecodeError as error:
+    except MalformedResponse as error:
         print(f"repro batch: malformed service response: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"repro batch: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(document, dict):
+        print("repro batch: malformed service response: not a JSON object",
+              file=sys.stderr)
         return 2
     try:
         results = [BatchResult.from_dict(r) for r in document.get("results", [])]
@@ -672,6 +769,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     try:
         # serve() binds the socket before forking the pool, so a busy port
         # fails here with nothing to clean up.
+        from .service.server import DEFAULT_BACKLOG
+
         server = build_server(
             host=arguments.host,
             port=arguments.port,
@@ -679,6 +778,11 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             timeout=arguments.timeout,
             cache=cache,
             verbose=arguments.verbose,
+            backlog=(
+                arguments.backlog
+                if arguments.backlog is not None
+                else DEFAULT_BACKLOG
+            ),
         )
     except OSError as error:
         print(
@@ -689,7 +793,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     host, port = server.address
     print(
         f"repro serve: {arguments.workers} warm workers on http://{host}:{port}"
-        f" (POST /analyze, POST /batch, GET /healthz, GET /stats; Ctrl-C stops)",
+        f" (/v1: POST analyze, POST batch, GET healthz, GET stats, GET"
+        f" metrics; admits {server.capacity} requests; Ctrl-C stops)",
         flush=True,
     )
     try:
@@ -746,9 +851,10 @@ def _command_profile(arguments: argparse.Namespace) -> int:
                     ],
                 )
             )
-        # Engine-comparison entries are informational (sub-millisecond warm
-        # rows are pure scheduler noise) and never gate.
-        gated = entry.get("kind") != "engines"
+        # Engine-comparison and service-loadtest entries are informational
+        # (sub-millisecond warm rows and HTTP latencies are machine noise)
+        # and never gate.
+        gated = entry.get("kind") not in ("engines", "service")
         if arguments.check and baseline is not None and gated:
             for regression in perf.compare_entries(baseline, entry, threshold):
                 failures.append(f"{name}: {regression}")
@@ -833,6 +939,69 @@ def _verdict_changes(baseline: dict, entry: dict) -> list[str]:
     return changes
 
 
+def _command_loadtest(arguments: argparse.Namespace) -> int:
+    """Drive open-loop load at a service and record BENCH_service.json."""
+    from .engine import profile as perf
+    from .engine.loadtest import loadtest_entry, run_loadtest
+
+    document = None
+    if arguments.program is not None:
+        try:
+            document = {"source": arguments.program.read_text(encoding="utf-8")}
+        except OSError as error:
+            print(
+                f"repro loadtest: cannot read {arguments.program}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        report = run_loadtest(
+            arguments.url,
+            rps=arguments.rps,
+            duration=arguments.duration,
+            concurrency=arguments.concurrency,
+            deadline_ms=arguments.deadline_ms,
+            document=document,
+        )
+    except ValueError as error:
+        print(f"repro loadtest: {error}", file=sys.stderr)
+        return 2
+    if not arguments.no_record:
+        directory = arguments.perf_dir or perf.DEFAULT_PERF_DIR
+        path = perf.bench_path(directory, "service")
+        perf.append_entry(path, loadtest_entry(report, arguments.label))
+        if not arguments.json:
+            print(f"recorded -> {path}")
+    if arguments.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        latency = report["latency"]
+
+        def cell(value):
+            return f"{value:.1f}ms" if isinstance(value, (int, float)) else "-"
+
+        print(
+            f"{report['served_2xx']}/{report['requested']} served in"
+            f" {report['elapsed_seconds']:.1f}s"
+            f" ({report['throughput_rps']:.1f} req/s),"
+            f" {report['rejected_429']} backpressured (429),"
+            f" {report['deadline_504']} past deadline (504),"
+            f" {report['unreachable']} unreachable"
+        )
+        print(
+            f"latency p50 {cell(latency['p50_ms'])}, p95 {cell(latency['p95_ms'])},"
+            f" p99 {cell(latency['p99_ms'])}; generator lag p95"
+            f" {cell(report['lag_p95_ms'])}"
+        )
+    if report["completed"] == 0:
+        print("repro loadtest: no request completed", file=sys.stderr)
+        return 2
+    if report["served_2xx"] == 0:
+        print("repro loadtest: no request was served (all non-2xx)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _command_suites(arguments: argparse.Namespace) -> int:
     rows = []
     for suite in SUITES.values():
@@ -885,6 +1054,7 @@ _COMMANDS = {
     "bench": _command_bench,
     "batch": _command_batch,
     "serve": _command_serve,
+    "loadtest": _command_loadtest,
     "profile": _command_profile,
     "suites": _command_suites,
     "cache": _command_cache,

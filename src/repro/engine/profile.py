@@ -24,6 +24,7 @@ any slow-down beyond the threshold fails the run.
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import dataclass
 from datetime import datetime, timezone
@@ -43,6 +44,7 @@ __all__ = [
     "engine_comparison_entry",
     "load_entries",
     "micro_entry",
+    "percentile",
     "run_micro_benchmarks",
     "suite_entry_record",
 ]
@@ -84,6 +86,24 @@ def append_entry(path: Path | str, entry: dict[str, Any]) -> None:
 
 def _timestamp() -> str:
     return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """The nearest-rank ``q``-th percentile of ``values`` (None when empty).
+
+    Nearest-rank rather than interpolated: every reported latency is a
+    latency some request actually saw, which is what an SLO gauge wants.
+    Used by the service's ``/metrics`` route and the loadtest report.
+    """
+    if not values:
+        return None
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile rank must be in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[min(len(ordered), rank) - 1]
 
 
 def suite_entry_record(

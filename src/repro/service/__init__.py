@@ -13,16 +13,43 @@ traffic:
   lightly-edited program re-analyses only the procedures whose fingerprints
   changed.  Per-request timeout and crash isolation match the batch engine:
   a hung or dying worker is replaced, never the service.
-* :class:`~repro.service.server.AnalysisServer` — a local HTTP endpoint
-  (``repro serve``) accepting program source and returning exactly the JSON
-  records ``repro analyze --json`` prints, plus ``/healthz`` and ``/stats``.
+* :class:`~repro.service.server.AnalysisServer` — an asyncio HTTP
+  front-end (``repro serve``) speaking the versioned ``/v1`` API with
+  keep-alive and pipelined connections, bounded admission (429 + a
+  ``Retry-After`` hint under overload), per-request deadlines
+  (``X-Repro-Deadline-Ms`` → 504 on expiry) and a ``/v1/metrics`` SLO
+  document; it returns exactly the JSON records ``repro analyze --json``
+  prints.
+* :class:`~repro.service.client.ServiceClient` — the one keep-alive HTTP
+  client for that API, shared by ``repro batch --url``, ``repro loadtest``
+  and the integration tests, raising typed errors decoded from the
+  service's uniform error envelope.
 
 Results are indistinguishable from the cold engine's up to fresh-symbol
 numbering: every warm structure (memo tables, spliced summaries) is keyed
 on content and pure, so warmth changes latency, never verdicts.
 """
 
+from .client import (
+    MalformedResponse,
+    ServiceClient,
+    ServiceError,
+    ServiceHTTPError,
+    ServiceUnreachable,
+)
 from .pool import PoolStats, WorkerPool
-from .server import AnalysisServer, run_batch, serve
+from .server import AnalysisServer, ServiceMetrics, run_batch, serve
 
-__all__ = ["WorkerPool", "PoolStats", "AnalysisServer", "run_batch", "serve"]
+__all__ = [
+    "WorkerPool",
+    "PoolStats",
+    "AnalysisServer",
+    "ServiceMetrics",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPError",
+    "ServiceUnreachable",
+    "MalformedResponse",
+    "run_batch",
+    "serve",
+]

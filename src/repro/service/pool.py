@@ -399,16 +399,25 @@ class WorkerPool:
         self._add_worker(multiprocessing.get_context("spawn"))
 
     # ------------------------------------------------------------------ #
-    def submit(self, task: AnalysisTask) -> BatchResult:
+    def submit(
+        self, task: AnalysisTask, timeout: Optional[float] = None
+    ) -> BatchResult:
         """Run one task on a warm worker and return its result record.
 
         Thread-safe; blocks while every worker is busy.  The record has
         exactly the shape the batch engine produces, so callers (the HTTP
         server, ``repro bench --engine warm``) are engine-agnostic.
+        ``timeout`` is a per-request deadline in seconds: it can only
+        *tighten* the pool-wide deadline (the effective deadline is the
+        smaller of the two), so a client-supplied deadline never extends
+        the budget the operator configured.  ``0`` is an immediate
+        deadline, ``None`` falls back to the pool default.
         """
-        return self.submit_with_meta(task)[0]
+        return self.submit_with_meta(task, timeout=timeout)[0]
 
-    def submit_with_meta(self, task: AnalysisTask) -> tuple[BatchResult, dict]:
+    def submit_with_meta(
+        self, task: AnalysisTask, timeout: Optional[float] = None
+    ) -> tuple[BatchResult, dict]:
         """Like :meth:`submit`, also returning the worker's meta dict.
 
         The meta carries the per-request incremental splice report
@@ -419,6 +428,9 @@ class WorkerPool:
         """
         if self._closed:
             raise RuntimeError("the worker pool is closed")
+        effective = self.timeout
+        if timeout is not None:
+            effective = timeout if effective is None else min(effective, timeout)
         with self._stats_lock:
             self.stats.requests += 1
         key = self.cache.key(task, self.options) if self.cache else None
@@ -429,7 +441,7 @@ class WorkerPool:
                     self.stats.cache_hits += 1
                 return self._ok_result(task, payload, 0.0, cache_hit=True), {}
 
-        if self.timeout == 0:
+        if effective == 0:
             # An immediate deadline: report the timeout without engaging (and
             # then having to kill and replace) a perfectly healthy worker.
             with self._stats_lock:
@@ -442,7 +454,7 @@ class WorkerPool:
         worker = self._idle.get()
         started = time.monotonic()
         try:
-            status, body, meta = worker.request(task, self.timeout)
+            status, body, meta = worker.request(task, effective)
         except TimeoutError:
             elapsed = time.monotonic() - started
             self._replace(worker)
@@ -453,7 +465,7 @@ class WorkerPool:
                     task,
                     "timeout",
                     elapsed,
-                    f"exceeded the {self.timeout:g}s deadline",
+                    f"exceeded the {effective:g}s deadline",
                 ),
                 {},
             )
@@ -492,26 +504,35 @@ class WorkerPool:
         self,
         tasks: Sequence[AnalysisTask],
         progress: Optional[Callable[[BatchResult], None]] = None,
+        deadline: Optional[float] = None,
     ) -> list[BatchResult]:
         """Run a batch over the warm pool; results come back in task order."""
-        return self.run_with_meta(tasks, progress)[0]
+        return self.run_with_meta(tasks, progress, deadline=deadline)[0]
 
     def run_with_meta(
         self,
         tasks: Sequence[AnalysisTask],
         progress: Optional[Callable[[BatchResult], None]] = None,
+        deadline: Optional[float] = None,
     ) -> tuple[list[BatchResult], list[dict]]:
         """Run a batch, returning per-task worker metas next to the results.
 
         ``metas[i]`` is the meta dict of ``results[i]`` (see
         :meth:`submit_with_meta`); the ``POST /batch`` route surfaces the
-        incremental splice report it carries per task.
+        incremental splice report it carries per task.  ``deadline`` is an
+        absolute ``time.monotonic()`` instant bounding the *whole batch*:
+        each task runs under the time remaining until it (tasks starting
+        after expiry report ``timeout`` immediately, the pool-wide
+        per-request deadline still applies on top).
         """
         results: list[Optional[BatchResult]] = [None] * len(tasks)
         metas: list[dict] = [{} for _ in tasks]
 
         def work(index: int) -> None:
-            result, meta = self.submit_with_meta(tasks[index])
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic())
+            result, meta = self.submit_with_meta(tasks[index], timeout=timeout)
             results[index] = result
             metas[index] = meta
             if progress is not None:
@@ -570,6 +591,14 @@ class WorkerPool:
         )
 
     # ------------------------------------------------------------------ #
+    def busy_workers(self) -> int:
+        """How many workers are serving a request right now (approximate).
+
+        Read lock-free from the idle queue's length: exact enough for the
+        ``/metrics`` utilisation gauge, never used for scheduling.
+        """
+        return max(0, min(self.workers, self.workers - self._idle.qsize()))
+
     def stats_dict(self) -> dict[str, Any]:
         """A JSON-ready snapshot of the pool's counters."""
         with self._stats_lock:

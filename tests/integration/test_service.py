@@ -3,10 +3,15 @@
 Covers the tentpole acceptance properties: warm workers answer repeated
 requests from spliced summaries (measurably below a cold run), results
 agree with the cold engine, failures replace workers without sinking the
-service, ``POST /batch`` serves whole suites bit-identically to ``repro
-bench``, the incremental summary store survives a clean service restart,
-and ``repro bench --engine warm`` / ``repro batch`` / ``--shard``
-round-trip through the CLI.
+service, ``POST /v1/batch`` serves whole suites bit-identically to
+``repro bench``, the incremental summary store survives a clean service
+restart, and ``repro bench --engine warm`` / ``repro batch`` /
+``repro loadtest`` / ``--shard`` round-trip through the CLI.  The asyncio
+front-end's SLO machinery has its own classes below: the ``/v1`` route
+aliasing and error envelope (``TestV1Api``), bounded admission
+(``TestBackpressure``), per-request deadlines (``TestDeadlines``) and the
+``/v1/metrics`` document under concurrent keep-alive load
+(``TestMetrics``).
 """
 
 import json
@@ -22,7 +27,13 @@ import pytest
 from repro.cli import main
 from repro.engine import AnalysisTask, BatchEngine, MemoryStorage, ResultCache
 from repro.engine.tasks import register_kind
-from repro.service import AnalysisServer, WorkerPool, serve
+from repro.service import (
+    AnalysisServer,
+    ServiceClient,
+    ServiceHTTPError,
+    WorkerPool,
+    serve,
+)
 
 TRIVIAL = "int main(int n) { assume(n >= 0); int r = n + 1; assert(r >= 1); return r; }"
 
@@ -350,7 +361,7 @@ class TestAnalysisServer:
             with pytest.raises(urllib.error.HTTPError) as error:
                 urllib.request.urlopen(request, timeout=30)
             assert error.value.code == 400
-            assert "integer" in json.load(error.value)["error"]
+            assert "integer" in json.load(error.value)["error"]["message"]
         # Integral values in any JSON spelling still work.
         record = self._post(
             server, {"source": TRIVIAL, "substitutions": {"n": 2.0, "m": "3"}}
@@ -376,7 +387,9 @@ class TestAnalysisServer:
         with pytest.raises(urllib.error.HTTPError) as error:
             urllib.request.urlopen(request, timeout=30)
         assert error.value.code == 500
-        assert "closed" in json.load(error.value)["error"]
+        envelope = json.load(error.value)
+        assert envelope["error"]["code"] == "internal"
+        assert "closed" in envelope["error"]["message"]
 
 
 class TestBatchRoute:
@@ -481,6 +494,442 @@ class TestBatchRoute:
             with pytest.raises(urllib.error.HTTPError) as error:
                 urllib.request.urlopen(request, timeout=30)
             assert error.value.code == 400, body
+
+
+def _start_server(pool, **kwargs):
+    server = AnalysisServer(pool, port=0, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def _stop_server(server, thread):
+    server.shutdown()
+    server.close()
+    thread.join(5)
+
+
+class TestV1Api:
+    @pytest.fixture()
+    def server(self):
+        server, thread = _start_server(WorkerPool(workers=1))
+        yield server
+        _stop_server(server, thread)
+
+    def _url(self, server):
+        host, port = server.address
+        return f"http://{host}:{port}"
+
+    def test_v1_routes_answer_without_deprecation(self, server):
+        host, port = server.address
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/v1/healthz", timeout=30
+        ) as response:
+            assert json.loads(response.read()) == {"status": "ok", "workers": 1}
+            assert response.headers.get("Deprecation") is None
+            assert response.headers.get("X-Request-Id")
+
+    def test_legacy_aliases_answer_with_deprecation_and_successor(self, server):
+        host, port = server.address
+        for name in ("healthz", "stats", "metrics"):
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/{name}", timeout=30
+            ) as response:
+                assert response.status == 200, name
+                assert response.headers["Deprecation"] == "true"
+                assert f"/v1/{name}" in response.headers["Link"]
+                assert "successor-version" in response.headers["Link"]
+
+    def test_error_envelope_shape(self, server):
+        host, port = server.address
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(f"http://{host}:{port}/v1/nope", timeout=30)
+        assert error.value.code == 404
+        envelope = json.load(error.value)
+        assert set(envelope) == {"error", "request_id"}
+        assert set(envelope["error"]) == {"code", "message", "detail"}
+        assert envelope["error"]["code"] == "not_found"
+        assert envelope["request_id"] == error.value.headers["X-Request-Id"]
+
+    def test_wrong_method_is_405_with_allow(self, server):
+        host, port = server.address
+        with pytest.raises(urllib.error.HTTPError) as error:
+            urllib.request.urlopen(f"http://{host}:{port}/v1/analyze", timeout=30)
+        assert error.value.code == 405
+        assert error.value.headers["Allow"] == "POST"
+        assert json.load(error.value)["error"]["code"] == "method_not_allowed"
+
+    def test_request_ids_are_distinct_per_request(self, server):
+        host, port = server.address
+        seen = set()
+        for _ in range(3):
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/v1/healthz", timeout=30
+            ) as response:
+                seen.add(response.headers["X-Request-Id"])
+        assert len(seen) == 3
+
+    def test_pipelined_requests_answer_in_order(self, server):
+        """Two requests written back-to-back before reading: both answered,
+        in order, on the one connection."""
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=30) as sock:
+            request = (
+                f"GET /v1/healthz HTTP/1.1\r\nHost: {host}\r\n\r\n"
+                f"GET /v1/metrics HTTP/1.1\r\nHost: {host}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            sock.sendall(request.encode("ascii"))
+            payload = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                payload += chunk
+        text = payload.decode("utf-8")
+        assert text.count("HTTP/1.1 200 OK") == 2
+        # The healthz body precedes the metrics body.
+        assert text.index('"status"') < text.index('"uptime_seconds"')
+
+    def test_client_prefers_v1(self, server):
+        with ServiceClient(self._url(server)) as client:
+            response = client.healthz()
+            assert response.document["status"] == "ok"
+            assert not response.deprecated
+
+    def test_batch_via_client_matches_direct_post(self, server):
+        tasks = [{"name": "toy", "source": TRIVIAL, "kind": "assertion"}]
+        with ServiceClient(self._url(server)) as client:
+            document = client.batch({"tasks": tasks}).document
+        assert document["totals"]["ok"] == 1
+
+
+class TestBackpressure:
+    def test_saturated_queue_gets_429_with_retry_after(self):
+        """Acceptance: a full admission queue answers 429 immediately —
+        never an unbounded hang — and the slot is reclaimed afterwards."""
+        pool = WorkerPool(workers=1)
+        server, thread = _start_server(pool, backlog=0)
+        host, port = server.address
+        url = f"http://{host}:{port}"
+        try:
+            assert server.capacity == 1
+            occupied = threading.Thread(
+                target=lambda: ServiceClient(url).analyze(
+                    {
+                        "source": "ignored",
+                        "kind": "service-sleep",
+                        "params": {"seconds": 3},
+                    }
+                ),
+                daemon=True,
+            )
+            occupied.start()
+            # Wait until the sleeper is actually admitted.
+            with ServiceClient(url) as client:
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    metrics = client.metrics().document
+                    if metrics["queue"]["in_flight"] == 1:
+                        break
+                    time.sleep(0.02)
+                else:
+                    pytest.fail("the sleeper request was never admitted")
+                with pytest.raises(ServiceHTTPError) as error:
+                    client.analyze({"source": TRIVIAL})
+                assert error.value.status == 429
+                assert error.value.code == "queue_full"
+                assert error.value.retry_after is not None
+                assert error.value.retry_after >= 1
+                assert error.value.detail["capacity"] == 1
+                occupied.join(30)
+                # The slot is reclaimed: the same request is served now.
+                record = client.analyze({"source": TRIVIAL}).document
+                assert record["outcome"] == "ok"
+                assert client.metrics().document["rejected_429"] == 1
+        finally:
+            _stop_server(server, thread)
+
+    def test_non_admission_routes_answer_while_saturated(self):
+        """healthz/metrics bypass admission: the SLO surface stays
+        observable exactly when the service is overloaded."""
+        pool = WorkerPool(workers=1)
+        server, thread = _start_server(pool, backlog=0)
+        host, port = server.address
+        url = f"http://{host}:{port}"
+        try:
+            occupied = threading.Thread(
+                target=lambda: ServiceClient(url).analyze(
+                    {
+                        "source": "ignored",
+                        "kind": "service-sleep",
+                        "params": {"seconds": 2},
+                    }
+                ),
+                daemon=True,
+            )
+            occupied.start()
+            with ServiceClient(url) as client:
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if client.metrics().document["queue"]["in_flight"] == 1:
+                        break
+                    time.sleep(0.02)
+                assert client.healthz().document["status"] == "ok"
+                assert client.stats().document["pool"]["workers"] == 1
+            occupied.join(30)
+        finally:
+            _stop_server(server, thread)
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_504_and_the_slot_is_reclaimed(self):
+        pool = WorkerPool(workers=1)
+        server, thread = _start_server(pool)
+        host, port = server.address
+        url = f"http://{host}:{port}"
+        try:
+            with ServiceClient(url) as client:
+                with pytest.raises(ServiceHTTPError) as error:
+                    client.analyze(
+                        {
+                            "source": "ignored",
+                            "kind": "service-sleep",
+                            "params": {"seconds": 60},
+                        },
+                        deadline_ms=300,
+                    )
+                assert error.value.status == 504
+                assert error.value.code == "deadline_exceeded"
+                assert error.value.detail["deadline_ms"] == 300
+                assert error.value.detail["result"]["outcome"] == "timeout"
+                # The hung worker was killed and replaced, and the
+                # admission slot released: the service still serves.
+                record = client.analyze({"source": TRIVIAL}).document
+                assert record["outcome"] == "ok"
+                metrics = client.metrics().document
+                assert metrics["deadline_504"] == 1
+                assert metrics["queue"]["in_flight"] == 0
+            assert pool.stats_dict()["restarts"] == 1
+        finally:
+            _stop_server(server, thread)
+
+    def test_body_deadline_field_works_like_the_header(self):
+        pool = WorkerPool(workers=1)
+        server, thread = _start_server(pool)
+        host, port = server.address
+        try:
+            request = urllib.request.Request(
+                f"http://{host}:{port}/v1/analyze",
+                data=json.dumps(
+                    {
+                        "source": "ignored",
+                        "kind": "service-sleep",
+                        "params": {"seconds": 60},
+                        "deadline_ms": 300,
+                    }
+                ).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as error:
+                urllib.request.urlopen(request, timeout=60)
+            assert error.value.code == 504
+            assert json.load(error.value)["error"]["code"] == "deadline_exceeded"
+        finally:
+            _stop_server(server, thread)
+
+    def test_deadline_tightens_but_never_extends_the_pool_timeout(self):
+        """A client deadline far above the operator's --timeout must not
+        extend it: the pool's own shorter deadline still fires, and that
+        is a 200 timeout record (the service kept its own SLO), not 504."""
+        pool = WorkerPool(workers=1, timeout=0.3)
+        server, thread = _start_server(pool)
+        host, port = server.address
+        try:
+            with ServiceClient(f"http://{host}:{port}") as client:
+                record = client.analyze(
+                    {
+                        "source": "ignored",
+                        "kind": "service-sleep",
+                        "params": {"seconds": 60},
+                    },
+                    deadline_ms=60_000,
+                ).document
+            assert record["outcome"] == "timeout"
+            assert "0.3" in record["detail"]
+        finally:
+            _stop_server(server, thread)
+
+    def test_malformed_deadlines_are_400(self):
+        pool = WorkerPool(workers=1)
+        server, thread = _start_server(pool)
+        host, port = server.address
+        try:
+            for value in ("nope", "-5", "0"):
+                request = urllib.request.Request(
+                    f"http://{host}:{port}/v1/analyze",
+                    data=json.dumps({"source": TRIVIAL}).encode("utf-8"),
+                    headers={
+                        "Content-Type": "application/json",
+                        "X-Repro-Deadline-Ms": value,
+                    },
+                )
+                with pytest.raises(urllib.error.HTTPError) as error:
+                    urllib.request.urlopen(request, timeout=30)
+                assert error.value.code == 400, value
+                assert json.load(error.value)["error"]["code"] == "bad_request"
+        finally:
+            _stop_server(server, thread)
+
+    def test_batch_deadline_bounds_the_whole_batch(self):
+        pool = WorkerPool(workers=1)
+        server, thread = _start_server(pool)
+        host, port = server.address
+        try:
+            with ServiceClient(f"http://{host}:{port}") as client:
+                with pytest.raises(ServiceHTTPError) as error:
+                    client.batch(
+                        {
+                            "tasks": [
+                                {
+                                    "name": f"sleep{i}",
+                                    "source": "ignored",
+                                    "kind": "service-sleep",
+                                    "params": {"seconds": 60},
+                                }
+                                for i in range(2)
+                            ]
+                        },
+                        deadline_ms=500,
+                    )
+                assert error.value.status == 504
+                assert error.value.code == "deadline_exceeded"
+                assert error.value.detail["totals"]["timeout"] >= 1
+        finally:
+            _stop_server(server, thread)
+
+
+class TestMetrics:
+    def test_percentiles_under_concurrent_keep_alive_clients(self):
+        pool = WorkerPool(workers=2)
+        server, thread = _start_server(pool)
+        host, port = server.address
+        url = f"http://{host}:{port}"
+        requests_per_client, clients = 4, 3
+        try:
+            def hammer():
+                with ServiceClient(url) as client:
+                    for _ in range(requests_per_client):
+                        assert (
+                            client.analyze({"source": TRIVIAL}).document["outcome"]
+                            == "ok"
+                        )
+
+            threads = [
+                threading.Thread(target=hammer, daemon=True) for _ in range(clients)
+            ]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(120)
+            with ServiceClient(url) as client:
+                metrics = client.metrics().document
+            analyze = metrics["routes"]["analyze"]
+            total = requests_per_client * clients
+            assert analyze["count"] == total
+            assert analyze["window"] == total
+            assert 0 < analyze["p50_ms"] <= analyze["p95_ms"] <= analyze["p99_ms"]
+            assert analyze["p99_ms"] <= analyze["max_ms"]
+            assert metrics["responses"]["2xx"] >= total
+            assert metrics["queue"]["capacity"] == pool.workers + server.backlog
+            assert metrics["queue"]["in_flight"] == 0
+            assert 0.0 <= metrics["workers"]["utilisation"] <= 1.0
+            assert metrics["workers"]["total"] == 2
+        finally:
+            _stop_server(server, thread)
+
+    def test_error_responses_are_counted_by_class(self):
+        pool = WorkerPool(workers=1)
+        server, thread = _start_server(pool)
+        host, port = server.address
+        try:
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"http://{host}:{port}/v1/nope", timeout=30)
+            with ServiceClient(f"http://{host}:{port}") as client:
+                metrics = client.metrics().document
+            assert metrics["responses"]["4xx"] >= 1
+        finally:
+            _stop_server(server, thread)
+
+
+class TestLoadtestCli:
+    @pytest.fixture()
+    def server(self):
+        server, thread = _start_server(WorkerPool(workers=2))
+        yield server
+        _stop_server(server, thread)
+
+    def _url(self, server):
+        host, port = server.address
+        return f"http://{host}:{port}"
+
+    def test_loadtest_records_a_bench_entry(self, server, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "loadtest",
+            "--url", self._url(server),
+            "--rps", "15",
+            "--duration", "1.5",
+            "--concurrency", "3",
+            "--perf-dir", str(tmp_path),
+            "--label", "test",
+        )
+        assert code == 0
+        assert "served" in out and "latency p50" in out
+        from repro.engine.profile import load_entries
+
+        entries = load_entries(tmp_path / "BENCH_service.json")
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["kind"] == "service"
+        assert entry["label"] == "test"
+        assert entry["totals"]["served_2xx"] > 0
+        assert entry["totals"]["throughput_rps"] > 0
+        report = entry["report"]
+        assert report["latency"]["p50_ms"] is not None
+        assert report["latency"]["p95_ms"] is not None
+        assert report["latency"]["p99_ms"] is not None
+        names = {row["name"] for row in entry["rows"]}
+        assert names == {"analyze/p50", "analyze/p95", "analyze/p99"}
+
+    def test_no_record_leaves_the_perf_dir_alone(self, server, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "loadtest",
+            "--url", self._url(server),
+            "--rps", "10",
+            "--duration", "1",
+            "--perf-dir", str(tmp_path),
+            "--no-record",
+            "--json",
+        )
+        assert code == 0
+        assert not (tmp_path / "BENCH_service.json").exists()
+        report = json.loads(out)
+        assert report["served_2xx"] == report["requested"]
+
+    def test_unreachable_service_is_exit_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys,
+            "loadtest",
+            "--url", "http://127.0.0.1:1",
+            "--rps", "5",
+            "--duration", "0.5",
+            "--perf-dir", str(tmp_path),
+            "--no-record",
+        )
+        assert code == 2
+        assert "no request completed" in err
 
 
 class TestServeBindFailure:
