@@ -14,6 +14,8 @@
                    [--deadline-ms MS] [--json]
     repro profile [--suite NAME|all] [--micro] [--engines] [--check]
                   [--threshold PCT]
+    repro fuzz [--seed S] [--count N] [--runs R] [--size K] [--minimize]
+               [--out DIR] [--no-baselines] [--jobs N] [--timeout S] [--json]
     repro suites
     repro cache stats|clear
 
@@ -41,7 +43,11 @@ throughput/latency curve into ``benchmarks/perf/BENCH_service.json``.
 timings, hull/projection micro-benchmark timings and (with ``--engines``)
 cold-vs-warm engine comparisons into the append-only
 ``benchmarks/perf/BENCH_*.json`` history and, with ``--check``, fails on
-perf regressions or verdict changes versus the previous entry.
+perf regressions or verdict changes versus the previous entry.  ``fuzz``
+runs the differential fuzzer: seeded random programs, every analyser claim
+cross-checked against concrete interpreter runs, findings written to
+``--out`` (minimized with ``--minimize``); exit status 1 when a campaign
+surfaces a violation.
 
 The full command reference with examples lives in ``docs/cli.md``.
 """
@@ -375,6 +381,45 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--json", action="store_true", help="emit the recorded entries as JSON"
     )
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzzing: random programs, analyser claims checked"
+        " against seeded concrete executions",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    fuzz.add_argument(
+        "--count", type=int, default=100, help="programs to generate (default: 100)"
+    )
+    fuzz.add_argument(
+        "--runs",
+        type=int,
+        default=10,
+        help="seeded concrete interpreter runs per program (default: 10)",
+    )
+    fuzz.add_argument(
+        "--size", type=int, default=3, help="generator size budget (default: 3)"
+    )
+    fuzz.add_argument(
+        "--no-baselines",
+        action="store_true",
+        help="check only CHORA's claims (skip the unrolling and ICRA baselines)",
+    )
+    fuzz.add_argument(
+        "--minimize",
+        action="store_true",
+        help="shrink each finding to a minimal reproducer (slower: every"
+        " shrink candidate is re-analysed)",
+    )
+    fuzz.add_argument(
+        "--out",
+        type=Path,
+        default=Path("fuzz-findings"),
+        help="directory for finding artifacts (default: fuzz-findings/)",
+    )
+    _engine_arguments(fuzz, jobs=True)
 
     commands.add_parser("suites", help="list the benchmark suites")
 
@@ -1002,6 +1047,180 @@ def _command_loadtest(arguments: argparse.Namespace) -> int:
     return 0
 
 
+#: Per-program deadline applied when ``repro fuzz`` is run without
+#: ``--timeout``: unlike the benchmark suites, generated programs have no
+#: curated size, so an unbounded campaign could sink on one pathological
+#: program.
+FUZZ_DEFAULT_TIMEOUT = 60.0
+
+
+def _fuzz_violation_kinds(result: BatchResult) -> set[str]:
+    """The violation kinds one fuzz task exhibited (empty = clean/skipped).
+
+    Engine-level outcomes map onto finding kinds: a worker crash is an
+    analyser bug (``analyzer-crash``), a task error is an infrastructure or
+    generator bug (``oracle-error``); timeouts and pending results are skips,
+    not findings.
+    """
+    if result.outcome == "crash":
+        return {"analyzer-crash"}
+    if result.outcome == "error":
+        return {"oracle-error"}
+    if result.outcome != "ok":
+        return set()
+    findings = result.payload.get("findings", [])
+    return {f["kind"] for f in findings if f["kind"] != "disagreement"}
+
+
+def _command_fuzz(arguments: argparse.Namespace) -> int:
+    # Importing the package registers the "fuzz" task kind; workers inherit
+    # the registration through fork.
+    from .fuzz import GeneratorConfig, format_program, generate_program, program_seed
+    from .fuzz.shrink import shrink_program
+
+    if arguments.timeout is None:
+        arguments.timeout = FUZZ_DEFAULT_TIMEOUT
+    config = GeneratorConfig(size=arguments.size)
+    params = (
+        ("runs", arguments.runs),
+        ("seed", arguments.seed),
+        ("baselines", not arguments.no_baselines),
+    )
+    tasks = []
+    for index in range(arguments.count):
+        seed = program_seed(arguments.seed, index)
+        source = format_program(generate_program(seed, config))
+        tasks.append(
+            AnalysisTask(
+                name=f"fuzz-s{arguments.seed}-{index:04d}",
+                source=source,
+                kind="fuzz",
+                params=params + (("program_seed", seed),),
+                suite="fuzz",
+            )
+        )
+
+    done = 0
+
+    def progress(result: BatchResult) -> None:
+        nonlocal done
+        done += 1
+        if not arguments.json:
+            kinds = _fuzz_violation_kinds(result)
+            status = ",".join(sorted(kinds)) if kinds else result.outcome
+            print(f"  [{done}/{len(tasks)}] {result.name}: {status}", flush=True)
+
+    engine = _make_engine(arguments)
+    results = engine.run(tasks, progress=progress)
+
+    # ---- collect findings ---------------------------------------------- #
+    task_by_name = {task.name: task for task in tasks}
+    findings: list[dict] = []
+    skipped = 0
+    for result in results:
+        if result.outcome in ("timeout", "pending"):
+            skipped += 1
+            continue
+        kinds = _fuzz_violation_kinds(result)
+        if not kinds:
+            continue
+        record = {
+            "name": result.name,
+            "campaign_seed": arguments.seed,
+            "program_seed": task_by_name[result.name].param("program_seed"),
+            "outcome": result.outcome,
+            "kinds": sorted(kinds),
+            "findings": list(result.payload.get("findings", []))
+            or [{"kind": next(iter(kinds)), "detail": result.detail}],
+            "claims": dict(result.payload.get("claims", {})),
+            "source": task_by_name[result.name].source,
+        }
+        findings.append(record)
+
+    # ---- minimize ------------------------------------------------------ #
+    if arguments.minimize and findings:
+        shrink_engine = BatchEngine(
+            jobs=1,
+            timeout=arguments.timeout,
+            cache=None,
+            options=ChoraOptions(),
+        )
+
+        def reproduces_factory(kinds: set[str]):
+            def reproduces(candidate: str) -> bool:
+                probe = AnalysisTask(
+                    name="shrink-probe", source=candidate, kind="fuzz", params=params
+                )
+                outcome = shrink_engine.run([probe])[0]
+                return bool(_fuzz_violation_kinds(outcome) & kinds)
+
+            return reproduces
+
+        for record in findings:
+            if not arguments.json:
+                print(f"  minimizing {record['name']} ...", flush=True)
+            record["minimized_source"] = shrink_program(
+                record["source"], reproduces_factory(set(record["kinds"]))
+            )
+
+    # ---- artifacts ------------------------------------------------------ #
+    if findings:
+        arguments.out.mkdir(parents=True, exist_ok=True)
+        for record in findings:
+            stem = arguments.out / record["name"]
+            stem.with_suffix(".c").write_text(record["source"], encoding="utf-8")
+            if "minimized_source" in record:
+                (arguments.out / f"{record['name']}.min.c").write_text(
+                    record["minimized_source"], encoding="utf-8"
+                )
+            stem.with_suffix(".json").write_text(
+                json.dumps(
+                    {key: value for key, value in record.items() if key != "source"},
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+
+    # ---- report --------------------------------------------------------- #
+    disagreements = sum(
+        1
+        for result in results
+        if result.outcome == "ok"
+        for f in result.payload.get("findings", [])
+        if f["kind"] == "disagreement"
+    )
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "seed": arguments.seed,
+                    "count": arguments.count,
+                    "runs": arguments.runs,
+                    "checked": len(results) - skipped,
+                    "skipped": skipped,
+                    "disagreements": disagreements,
+                    "violations": findings,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"\n{len(results) - skipped}/{len(results)} programs checked"
+            f" ({skipped} timed out), {len(findings)} with violations,"
+            f" {disagreements} precision disagreements"
+        )
+        for record in findings:
+            print(f"\n{record['name']} ({', '.join(record['kinds'])}):")
+            for finding in record["findings"]:
+                print(f"  - {finding['detail']}")
+            print(f"  artifacts: {arguments.out / record['name']}.c / .json")
+    return 1 if findings else 0
+
+
 def _command_suites(arguments: argparse.Namespace) -> int:
     rows = []
     for suite in SUITES.values():
@@ -1056,6 +1275,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "loadtest": _command_loadtest,
     "profile": _command_profile,
+    "fuzz": _command_fuzz,
     "suites": _command_suites,
     "cache": _command_cache,
 }

@@ -36,7 +36,6 @@ from ..formulas import (
     Polynomial,
     TransitionFormula,
     conjoin,
-    negate,
     post,
     pre,
 )
@@ -102,16 +101,21 @@ def check_assertion(
     if to_site.is_bottom:
         return AssertionOutcome(site, True)
     # The assertion condition reads the state *at* the site, i.e. the
-    # post-state of the path summary.
-    condition = translate_condition(site.condition)
+    # post-state of the path summary.  Negate *syntactically*, before
+    # translation: translating first can introduce existentially quantified
+    # defining constraints (nondet ranges, min/max, division quotients) that
+    # :func:`negate` cannot invert exactly — and for may-fail semantics the
+    # auxiliary values must stay existential in the negated condition anyway
+    # ("some draw violates the assertion"), which is precisely what pushing
+    # ``!`` through the syntax and then translating produces.
+    negated_condition = translate_condition(ast.NotCond(site.condition))
     renaming = {
         pre(name): post(name)
         for name in to_site.referenced_variables() | frozenset(context.variables)
     }
     from ..formulas import rename as rename_formula
 
-    condition_at_site = rename_formula(condition, renaming)
-    negated = negate(condition_at_site)
+    negated = rename_formula(negated_condition, renaming)
     query = conjoin([to_site.to_formula(context.variables), negated])
     proved = not _satisfiable_with_exponentials(query, registry, options)
     return AssertionOutcome(site, proved)

@@ -155,6 +155,20 @@ def classify_asymptotics(expression: sympy.Expr, parameter: str = "n") -> str:
     return _render(best, parameter)
 
 
+def _expression_growth(
+    expression: sympy.Expr, n: sympy.Symbol
+) -> Optional[tuple[float, float, int]]:
+    """The dominant growth triple over the additive terms of an expression."""
+    best: Optional[tuple[float, float, int]] = None
+    for term in sympy.expand(expression).as_ordered_terms():
+        triple = _term_growth(term, n)
+        if triple is None:
+            return None
+        if best is None or triple > best:
+            best = triple
+    return best
+
+
 def _term_growth(term: sympy.Expr, n: sympy.Symbol) -> Optional[tuple[float, float, int]]:
     """(exponential base, polynomial degree, log degree) of one additive term."""
     base = 1.0
@@ -162,7 +176,13 @@ def _term_growth(term: sympy.Expr, n: sympy.Symbol) -> Optional[tuple[float, flo
     logs = 0
     for factor in sympy.Mul.make_args(term):
         factor_base, factor_degree, factor_logs = 1.0, 0.0, 0
-        if isinstance(factor, sympy.log):
+        if isinstance(factor, sympy.Max):
+            # Max(1, B) from a clamped depth bound: grows like its fastest arm.
+            arm_growth = [_expression_growth(arm, n) for arm in factor.args]
+            if any(growth is None for growth in arm_growth):
+                return None
+            factor_base, factor_degree, factor_logs = max(arm_growth)
+        elif isinstance(factor, sympy.log):
             if factor.has(n):
                 factor_logs = 1
         elif isinstance(factor, sympy.Pow):
@@ -173,12 +193,21 @@ def _term_growth(term: sympy.Expr, n: sympy.Symbol) -> Optional[tuple[float, flo
                 except TypeError:
                     return None
             elif not pow_base.has(n) and pow_exp.has(n):
-                # c ** (a*n + b): exponential with base c**a.
-                poly = sympy.Poly(pow_exp, n) if pow_exp.is_polynomial(n) else None
-                if poly is None or poly.degree() > 1:
-                    return None
-                a = float(poly.coeff_monomial(n)) if poly.degree() == 1 else 0.0
-                factor_base = float(pow_base) ** a
+                if isinstance(pow_exp, sympy.Max):
+                    # c ** Max(1, B): grows like the fastest arm's power.
+                    arm_growth = [
+                        _expression_growth(pow_base**arm, n) for arm in pow_exp.args
+                    ]
+                    if any(growth is None for growth in arm_growth):
+                        return None
+                    factor_base, factor_degree, factor_logs = max(arm_growth)
+                else:
+                    # c ** (a*n + b): exponential with base c**a.
+                    poly = sympy.Poly(pow_exp, n) if pow_exp.is_polynomial(n) else None
+                    if poly is None or poly.degree() > 1:
+                        return None
+                    a = float(poly.coeff_monomial(n)) if poly.degree() == 1 else 0.0
+                    factor_base = float(pow_base) ** a
             elif isinstance(pow_base, sympy.log) and pow_base.has(n):
                 try:
                     factor_logs = int(pow_exp)

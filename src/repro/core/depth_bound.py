@@ -79,7 +79,15 @@ class DescentKind:
 
 @dataclass(frozen=True)
 class DescentWitness:
-    """A ranking expression together with how it descends at recursive calls."""
+    """A ranking expression together with how it descends at recursive calls.
+
+    The bounds derived from a witness count the frames *inside* the
+    recursive region, so they hold for executions of height >= 2; a call
+    whose argument lies outside the descent regime still terminates at
+    height 1 (immediate base case) without satisfying them.  Callers must
+    either guard with the height-1 disjunct (polyhedral side) or clamp the
+    closed form at 1 (symbolic side, see :meth:`covers_single_level`).
+    """
 
     expression: Polynomial        # over unprimed parameter symbols
     kind: str
@@ -87,17 +95,58 @@ class DescentWitness:
     minimum: Fraction             # lower bound of the expression in the recursive region
     exact: bool                   # True when every call decreases it by exactly `factor`
     base_value: Optional[Fraction] = None   # exact value in the base region, when known
+    slack: Fraction = Fraction(0)           # geometric: r * e' <= e + slack
 
     def symbolic_height_bound(self) -> sympy.Expr:
-        """An upper bound on the recursion height as a sympy expression."""
+        """An upper bound on the height of *recursing* executions (>= 2 frames)."""
         e0 = _polynomial_to_sympy(self.expression)
         if self.kind == DescentKind.ARITHMETIC:
             if self.exact and self.base_value is not None:
                 return e0 - sympy.Rational(self.base_value) + 1
             return e0 - sympy.Rational(self.minimum) + 2
         ratio = sympy.Rational(self.factor)
+        # r*e' <= e + s  is  (e' - c) <= (e - c)/r  for the fixpoint
+        # c = s/(r-1): the chain contracts geometrically towards c, so the
+        # height is logarithmic in (e0 - c)/(m - c).  Acceptance requires
+        # minimum > c, keeping the floor positive.
+        shift = sympy.Rational(self.slack) / (ratio - 1) if self.slack else sympy.Integer(0)
+        floor_value = sympy.Rational(max(self.minimum, Fraction(1)))
+        return sympy.log((e0 - shift) / (floor_value - shift), ratio) + 2
+
+    def covers_single_level(self) -> bool:
+        """Whether the closed form also bounds height-1 executions at args >= 1.
+
+        A height-1 execution can start anywhere in the base region, where the
+        ranking expression is unconstrained — but claims are evaluated in the
+        positive regime (every argument >= 1).  The closed form covers those
+        executions whenever its infimum over that regime is >= 1; when the
+        ranking has a negatively-weighted parameter or too large a floor, it
+        does not, and the caller must clamp with ``Max(1, ...)``.
+        """
+        if (
+            self.kind == DescentKind.ARITHMETIC
+            and self.exact
+            and self.base_value is not None
+        ):
+            # Exact descent onto a constant base value holds at height 1 for
+            # *any* argument: the entry state is in the base region, so the
+            # ranking equals the base value and the bound evaluates to 1.
+            return True
+        _, _, nonlinear = self.expression.split_linear()
+        if not nonlinear.is_zero:
+            return False
+        coefficients = self.expression.linear_coefficients()
+        if any(c < 0 for c in coefficients.values()):
+            return False
+        infimum = self.expression.constant_value + sum(
+            c for c in coefficients.values() if c > 0
+        )
+        if self.kind == DescentKind.ARITHMETIC:
+            return infimum - self.minimum + 2 >= 1
+        shift = self.slack / (self.factor - 1)
         floor_value = max(self.minimum, Fraction(1))
-        return sympy.log(e0 / sympy.Rational(floor_value), ratio) + 2
+        # log_r((e0-c)/(m-c)) + 2 >= 1  <=>  e0 >= c + (m-c)/r.
+        return infimum >= shift + (floor_value - shift) / self.factor
 
 
 def _polynomial_to_sympy(polynomial: Polynomial) -> sympy.Expr:
@@ -254,7 +303,10 @@ def _check_candidate(
     candidates_minimum = [m for m in (guard_minimum, base_minimum) if m is not None]
     minimum = max(candidates_minimum) if candidates_minimum else None
 
-    # Geometric descent: r * e' <= e (+ slack) for every call.
+    # Geometric descent: r * e' <= e (+ slack) for every call.  With slack
+    # the chain contracts towards c = slack/(r-1) rather than 0, so the
+    # recursive region's minimum must stay strictly above c for the height
+    # to be logarithmic at all.
     for ratio, slack in (
         (Fraction(2), Fraction(0)),
         (Fraction(2), Fraction(1)),
@@ -265,8 +317,12 @@ def _check_candidate(
             formula_entails(t, atom_le(post_value.scale(ratio), pre_value + slack), options)
             for t in transformations
         ):
-            if minimum is not None and minimum >= 1:
-                return DescentWitness(candidate, DescentKind.GEOMETRIC, ratio, minimum, False)
+            shift = slack / (ratio - 1)
+            if minimum is not None and minimum >= 1 and minimum > shift:
+                return DescentWitness(
+                    candidate, DescentKind.GEOMETRIC, ratio, minimum, False,
+                    slack=slack,
+                )
     # Arithmetic descent: e' <= e - 1 for every call.
     if all(
         formula_entails(t, atom_le(post_value, pre_value - 1), options)
@@ -510,6 +566,7 @@ def compute_depth_bound(
 ) -> DepthBound:
     """Compute the depth bound of ``target`` (polyhedral + symbolic parts)."""
     constraints: list[tuple[Polynomial, bool]] = []
+    recursive_constraints: list[tuple[Polynomial, bool]] = []
     witness = descent_depth_bound(
         contexts, base_summaries, external_summaries, procedures, options
     )
@@ -518,9 +575,19 @@ def compute_depth_bound(
     if witness is not None:
         symbolic = witness.symbolic_height_bound()
         exact = witness.exact and witness.kind == DescentKind.ARITHMETIC
+        if not witness.covers_single_level():
+            # The descent bound says nothing about an immediate base case
+            # (height 1), and its value can dip below 1 even at positive
+            # arguments; clamp so the closed form stays a bound for every
+            # execution in the claimed regime.
+            symbolic = sympy.Max(sympy.Integer(1), symbolic)
+            exact = False
         if witness.kind == DescentKind.ARITHMETIC:
             # D <= e0 - minimum + 2   (or exactly e0 - base + 1).
             if exact and witness.base_value is not None:
+                # Exact descent with a constant base value holds for height-1
+                # executions too (the entry state *is* the base region), so
+                # the equality is unconditional.
                 constraints.append(
                     (
                         Polynomial.var(DEPTH_SYMBOL)
@@ -531,7 +598,10 @@ def compute_depth_bound(
                     )
                 )
             else:
-                constraints.append(
+                # Valid only for executions that recurse: the derivation
+                # counts frames inside the recursive region, and a call whose
+                # argument sits outside it still runs at height 1.
+                recursive_constraints.append(
                     (
                         Polynomial.var(DEPTH_SYMBOL)
                         - witness.expression
@@ -555,4 +625,6 @@ def compute_depth_bound(
                     continue
                 renamed = inequation.polynomial.rename({post(DEPTH_VARIABLE): DEPTH_SYMBOL})
                 constraints.append((renamed, inequation.is_equality))
-    return DepthBound(tuple(constraints), symbolic, exact)
+    return DepthBound(
+        tuple(constraints), symbolic, exact, tuple(recursive_constraints)
+    )

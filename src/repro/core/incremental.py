@@ -69,7 +69,7 @@ DEFAULT_COMPONENT_CAPACITY = 2048
 STORE_NAME = "incremental-summaries"
 
 #: Bump on incompatible changes to the pickled store layout.
-STORE_SCHEMA = 1
+STORE_SCHEMA = 2
 
 #: The class vocabulary a persisted component store may reference.  Component
 #: records are procedure summaries and height analyses: formula trees over
@@ -139,8 +139,25 @@ class _GuardedLog(sympy.log):
         return sympy.log.__new__(sympy.log, *args, **kwargs)
 
 
+class _GuardedMax(sympy.Max):
+    """A pickle stand-in for ``sympy.Max`` (clamped depth bounds).
+
+    Like ``log``, ``Max.__new__`` sympifies its arguments non-strictly, so
+    string arguments would be evaluated; restrict it to already-unpickled
+    sympy expressions.
+    """
+
+    def __new__(cls, *args, **kwargs):
+        if not all(isinstance(arg, sympy.Basic) for arg in args):
+            raise pickle.UnpicklingError(
+                "Max arguments in a snapshot must be sympy expressions"
+            )
+        return sympy.Max.__new__(sympy.Max, *args, **kwargs)
+
+
 _STORE_OVERRIDES = {
     ("sympy.functions.elementary.exponential", "log"): _GuardedLog,
+    ("sympy.functions.elementary.miscellaneous", "Max"): _GuardedMax,
 }
 
 

@@ -35,6 +35,7 @@ from ..formulas import (
     atom_ge,
     atom_le,
     conjoin,
+    disjoin,
     exists,
     fresh,
 )
@@ -65,28 +66,51 @@ class BoundedTerm:
 class DepthBound:
     """Constraints tying the recursion height ``H`` to the pre-state.
 
-    ``formula_builder`` is the polyhedral part (``zeta``): given the symbol
-    chosen for ``H`` it returns a formula over ``H`` and pre-state symbols.
-    ``symbolic_bound`` is an optional closed-form upper bound for ``H`` as a
-    sympy expression over parameter names (it may involve logarithms, which
-    cannot be expressed polyhedrally); ``symbolic_exact`` marks the cases in
-    which the bound is exact (every root-to-leaf path has the same length),
-    which is what allows two-sided (equality) reasoning.
+    ``constraints`` is the polyhedral part (``zeta``): polynomials over
+    pre-state symbols and the depth symbol, valid for *every* execution.
+    ``recursive_constraints`` hold only for executions that actually recurse
+    (``H >= 2``): descent arguments count frames inside the recursive region,
+    so they say nothing about a base case that executes immediately — a call
+    with an argument outside the descent regime still terminates at height 1.
+    Conjoining them unconditionally would make such calls spuriously
+    infeasible, so :meth:`formula` guards them with ``H <= 1 \\/ (H >= 2 /\\
+    ...)``.  ``symbolic_bound`` is an optional closed-form upper bound for
+    ``H`` as a sympy expression over parameter names (it may involve
+    logarithms, which cannot be expressed polyhedrally); ``symbolic_exact``
+    marks the cases in which the bound is exact (every root-to-leaf path has
+    the same length), which is what allows two-sided (equality) reasoning.
     """
 
     constraints: tuple[tuple[Polynomial, bool], ...] = ()
     symbolic_bound: Optional[sympy.Expr] = None
     symbolic_exact: bool = False
+    recursive_constraints: tuple[tuple[Polynomial, bool], ...] = ()
 
     def formula(self, height: Symbol) -> Formula:
         """The polyhedral depth constraints with ``D`` replaced by ``height``.
 
         Each stored constraint is a polynomial over pre-state symbols and the
         distinguished depth symbol ``DEPTH_SYMBOL``; it is instantiated by
-        renaming that symbol to the chosen height symbol.
+        renaming that symbol to the chosen height symbol.  Recursive-regime
+        constraints are disjoined with the always-available single-level
+        execution ``height <= 1``.
         """
+        conjuncts = [self._instantiated(self.constraints, height)]
+        recursive = getattr(self, "recursive_constraints", ())
+        if recursive:
+            h_poly = Polynomial.var(height)
+            deeper = conjoin(
+                [atom_le(2, h_poly), self._instantiated(recursive, height)]
+            )
+            conjuncts.append(disjoin([atom_le(h_poly, 1), deeper]))
+        return conjoin(conjuncts)
+
+    @staticmethod
+    def _instantiated(
+        constraints: Sequence[tuple[Polynomial, bool]], height: Symbol
+    ) -> Formula:
         conjuncts = []
-        for polynomial, is_equality in self.constraints:
+        for polynomial, is_equality in constraints:
             renamed = polynomial.rename({DEPTH_SYMBOL: height})
             if is_equality:
                 from ..formulas import atom_eq

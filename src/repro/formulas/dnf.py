@@ -27,7 +27,8 @@ from .formula import (
     Or,
     TrueFormula,
 )
-from .symbols import Symbol
+from .polynomial import Polynomial
+from .symbols import Symbol, fresh
 
 __all__ = ["Cube", "to_dnf", "DEFAULT_CUBE_LIMIT", "DnfLimitExceeded"]
 
@@ -41,13 +42,63 @@ class DnfLimitExceeded(Exception):
 
 @dataclass(frozen=True)
 class Cube:
-    """A conjunction of atoms together with existentially bound symbols."""
+    """A conjunction of atoms together with existentially bound symbols.
+
+    Two cubes (or a cube and a hoisted quantifier) may use the *same name*
+    for *distinct* bound variables — e.g. when one procedure summary is
+    inlined at two call sites, both copies carry identical auxiliary names.
+    Conflating them is unsound (it can make a feasible path formula
+    unsatisfiable), so :meth:`conjoin` and the ``Exists`` hoist in
+    :func:`to_dnf` alpha-rename colliding bound symbols to fresh ones.
+    Renaming happens only on collision, so cube contents — and therefore the
+    polyhedral memo keys downstream — are unchanged in the common case.
+    """
 
     atoms: tuple[Atom, ...]
     bound: frozenset[Symbol] = frozenset()
 
+    def symbols(self) -> frozenset[Symbol]:
+        """Every symbol of the cube: atom occurrences and bound names."""
+        cached = getattr(self, "_symbols", None)
+        if cached is None:
+            cached = self.bound
+            for atom in self.atoms:
+                cached |= atom.polynomial.symbols
+            object.__setattr__(self, "_symbols", cached)
+        return cached
+
+    def alpha_renamed(self, collisions: frozenset[Symbol]) -> "Cube":
+        """Rename the given *bound* symbols of this cube to fresh ones."""
+        mapping: dict[Symbol, Polynomial] = {}
+        renamed_bound = set(self.bound)
+        for symbol in collisions & self.bound:
+            replacement = fresh(symbol.name)
+            mapping[symbol] = Polynomial.var(replacement)
+            renamed_bound.discard(symbol)
+            renamed_bound.add(replacement)
+        if not mapping:
+            return self
+        atoms = tuple(
+            Atom(atom.polynomial.substitute(mapping), atom.kind)
+            if atom.polynomial.symbols & mapping.keys()
+            else atom
+            for atom in self.atoms
+        )
+        return Cube(atoms, frozenset(renamed_bound))
+
     def conjoin(self, other: "Cube") -> "Cube":
-        return Cube(self.atoms + other.atoms, self.bound | other.bound)
+        left, right = self, other
+        # A symbol bound on one side and occurring on the other (bound *or*
+        # free) names a different variable there: rename the bound one.
+        if right.bound:
+            collisions = right.bound & left.symbols()
+            if collisions:
+                right = right.alpha_renamed(collisions)
+        if left.bound:
+            collisions = left.bound & right.symbols()
+            if collisions:
+                left = left.alpha_renamed(collisions)
+        return Cube(left.atoms + right.atoms, left.bound | right.bound)
 
     def with_bound(self, symbols: Iterable[Symbol]) -> "Cube":
         return Cube(self.atoms, self.bound | frozenset(symbols))
@@ -94,7 +145,17 @@ def _dnf(formula: Formula, limit: int) -> list[Cube]:
         return [convex]
     if isinstance(formula, Exists):
         inner = _dnf(formula.body, limit)
-        return [cube.with_bound(formula.symbols) for cube in inner]
+        symbols = frozenset(formula.symbols)
+        hoisted = []
+        for cube in inner:
+            # A same-named symbol already bound inside the body is a
+            # *different* (shadowing) variable: rename it before binding
+            # this quantifier's occurrences.
+            collisions = cube.bound & symbols
+            if collisions:
+                cube = cube.alpha_renamed(collisions)
+            hoisted.append(cube.with_bound(symbols))
+        return hoisted
     if isinstance(formula, Or):
         cubes: list[Cube] = []
         for child in formula.children:
@@ -124,18 +185,41 @@ def _conjunctive_cube(formula: Formula) -> Cube | None:
     ``false`` anywhere in the conjunction makes the whole formula false,
     which has no cube either — callers fall through to the general case,
     whose And handler prunes it the same way.
+
+    The walk also returns ``None`` on any bound-name collision — a name
+    bound twice (sibling or shadowing quantifiers), an atom mentioning a
+    name whose binder's scope has already closed, or a quantifier binding a
+    name an earlier sibling atom uses freely.  Flattening such a formula
+    here would conflate distinct variables; the general machinery
+    alpha-renames them correctly instead.  Collisions only arise when one
+    subformula is copied into two contexts (e.g. a summary inlined at two
+    call sites), so the fast path still serves the common case.
     """
     atoms: list[Atom] = []
     bound: set[Symbol] = set()
-    stack: list[Formula] = [formula]
+    closed: set[Symbol] = set()
+    seen_atom_symbols: set[Symbol] = set()
+    _EXIT = object()
+    stack: list[object] = [formula]
     while stack:
         node = stack.pop()
+        if isinstance(node, tuple) and node and node[0] is _EXIT:
+            closed.update(node[1])
+            continue
         if isinstance(node, Atom):
+            atom_symbols = node.polynomial.symbols
+            if closed & atom_symbols:
+                return None
             atoms.append(node)
+            seen_atom_symbols.update(atom_symbols)
         elif isinstance(node, And):
             stack.extend(reversed(node.children))
         elif isinstance(node, Exists):
-            bound.update(node.symbols)
+            symbols = set(node.symbols)
+            if symbols & bound or symbols & seen_atom_symbols:
+                return None
+            bound.update(symbols)
+            stack.append((_EXIT, symbols))
             stack.append(node.body)
         elif isinstance(node, TrueFormula):
             continue

@@ -1,0 +1,23 @@
+"""Differential fuzzing for the CHORA reproduction (``repro fuzz``).
+
+Csmith-style loop: :mod:`generator` builds seeded well-formed random
+programs in the paper's shapes, :mod:`oracle` cross-checks every analyzer
+claim (cost/return/depth bounds, assertion verdicts) against seeded
+concrete executions, and :mod:`shrink` minimizes any finding to a small
+self-contained regression case.
+"""
+
+from .generator import GeneratorConfig, format_program, generate_program, program_seed
+from .oracle import Finding, OracleConfig, check_program
+from .shrink import shrink_program
+
+__all__ = [
+    "Finding",
+    "GeneratorConfig",
+    "OracleConfig",
+    "check_program",
+    "format_program",
+    "generate_program",
+    "program_seed",
+    "shrink_program",
+]

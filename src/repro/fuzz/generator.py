@@ -1,0 +1,506 @@
+"""A seeded, size-bounded random program generator over :mod:`repro.lang.ast`.
+
+The generator is the supply side of the differential fuzzing loop
+(``repro fuzz``): it builds random programs in the paper's shapes —
+straight-line arithmetic, guarded ``while`` loops, self-recursive and
+mutually-recursive procedures with base cases, stratified-recurrence nests
+(a recursion whose body drives another recursion), and an instrumented
+``cost`` counter global — and the oracle (:mod:`repro.fuzz.oracle`) then
+checks every claim the analysers make about them against concrete runs.
+
+Programs are **well-formed by construction**, so every finding the oracle
+raises is a real bug, never a malformed input:
+
+* every variable is declared before use (parameters, locals in scope,
+  globals);
+* every call passes exactly the callee's arity, and calls only reach
+  *earlier* procedures (a DAG), except the explicitly constructed self- and
+  mutual-recursive edges;
+* every division is by a positive integer constant (the only form the
+  relational semantics supports);
+* every recursive procedure has a base case (``n <= b``) guarding descent
+  that strictly decreases its first parameter (``n - c`` or ``n / c``),
+  so every program terminates on every integer input;
+* loop bounds are captured in a dedicated local that the loop body never
+  assigns, so ``while`` loops always terminate.
+
+Generation is **deterministic**: :func:`generate_program` is a pure function
+of ``(seed, config)``, pinned by a unit test, so any finding is reproducible
+from its seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..lang import ast
+
+__all__ = [
+    "GeneratorConfig",
+    "format_program",
+    "generate_program",
+    "program_seed",
+]
+
+#: Name of the instrumented cost-counter global (the paper's methodology).
+COST = "cost"
+
+#: Name of the entry procedure every generated program ends with.
+ENTRY = "main"
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size and shape knobs for one generated program.
+
+    ``size`` is the headline budget: it scales the number of procedures and
+    the statement budget per procedure.  The remaining knobs exist for tests
+    and for shrinking experiments; the CLI only exposes ``size``.
+    """
+
+    size: int = 3
+    max_constant: int = 8
+    #: maximum expression nesting depth (0 = atoms only).
+    max_expr_depth: int = 2
+    #: recursive procedures keep their branching at most this wide so the
+    #: concrete oracle can actually execute them (3 ** 8 frames is fine,
+    #: 18 ** 8 is not).
+    max_recursive_calls: int = 2
+
+    @property
+    def max_procedures(self) -> int:
+        return max(1, min(4, self.size + 1))
+
+    @property
+    def statement_budget(self) -> int:
+        return max(3, 2 * self.size)
+
+
+def program_seed(campaign_seed: int, index: int) -> int:
+    """The per-program seed of the ``index``-th program of a campaign.
+
+    A splitmix-style hash rather than ``campaign_seed + index`` so
+    neighbouring campaigns do not share program prefixes.
+    """
+    z = (campaign_seed * 0x9E3779B97F4A7C15 + index + 1) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return (z ^ (z >> 31)) & 0x7FFFFFFF
+
+
+# ---------------------------------------------------------------------- #
+# The builder
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _Signature:
+    """What later procedures know about an earlier one."""
+
+    name: str
+    parameters: tuple[str, ...]
+    recursive: bool
+    returns_value: bool
+
+
+class _Builder:
+    def __init__(self, seed: int, config: GeneratorConfig):
+        self.rng = random.Random(seed)
+        self.config = config
+        self.signatures: list[_Signature] = []
+        self._fresh = 0
+
+    # ------------------------------------------------------------------ #
+    def fresh(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"{prefix}{self._fresh}"
+
+    def constant(self, low: int = 0) -> int:
+        return self.rng.randint(low, self.config.max_constant)
+
+    # ------------------------------------------------------------------ #
+    # Expressions (always over names in ``scope``)
+    # ------------------------------------------------------------------ #
+    def expression(
+        self, scope: list[str], depth: int | None = None, calls: bool = True
+    ) -> ast.Expr:
+        if depth is None:
+            depth = self.config.max_expr_depth
+        atoms = ["lit", "var", "var"]
+        if depth > 0:
+            atoms += ["binop", "binop", "div", "nondet", "minmax", "neg"]
+            if calls:
+                # Calls are only legal where the front end can hoist them
+                # into call statements — never inside conditions.
+                atoms.append("call")
+        kind = self.rng.choice(atoms)
+        if kind == "var" and not scope:
+            kind = "lit"
+        if kind == "lit":
+            return ast.IntLit(self.constant())
+        if kind == "var":
+            return ast.VarRef(self.rng.choice(scope))
+        if kind == "neg":
+            return ast.UnaryNeg(self.expression(scope, depth - 1))
+        if kind == "binop":
+            op = self.rng.choice(["+", "+", "-", "*"])
+            return ast.BinOp(
+                op, self.expression(scope, depth - 1), self.expression(scope, depth - 1)
+            )
+        if kind == "div":
+            # Positive constant divisors only: the single division form the
+            # relational semantics supports (and it is exact floor division
+            # for every dividend, negative ones included).
+            return ast.BinOp(
+                "/", self.expression(scope, depth - 1), ast.IntLit(self.rng.randint(2, 4))
+            )
+        if kind == "nondet":
+            if self.rng.random() < 0.5:
+                return ast.Nondet()
+            # nondet(lo, hi): the range may be empty at runtime (hi a
+            # variable that happens to be <= lo) — the interpreter then
+            # blocks the run like a failed assume, and the oracle discards.
+            lower = ast.IntLit(self.rng.randint(0, 2))
+            if scope and self.rng.random() < 0.7:
+                upper: ast.Expr = ast.VarRef(self.rng.choice(scope))
+            else:
+                upper = ast.IntLit(self.constant(low=1))
+            return ast.Nondet(lower, upper)
+        if kind == "minmax":
+            return ast.MinMax(
+                self.rng.random() < 0.5,
+                self.expression(scope, depth - 1),
+                self.expression(scope, depth - 1),
+            )
+        if kind == "call":
+            callees = [s for s in self.signatures if s.returns_value]
+            if not callees:
+                return ast.IntLit(self.constant())
+            return self.call(self.rng.choice(callees), scope, depth - 1)
+        raise AssertionError(kind)
+
+    def call(self, callee: _Signature, scope: list[str], depth: int = 0) -> ast.CallExpr:
+        """A call with exactly the callee's arity.
+
+        Arguments to *recursive* callees are kept small (a variable or a
+        small constant) so the concrete oracle's step budget survives; a
+        non-recursive callee takes arbitrary expressions.
+        """
+        arguments: list[ast.Expr] = []
+        for _ in callee.parameters:
+            if callee.recursive:
+                if scope and self.rng.random() < 0.7:
+                    arguments.append(ast.VarRef(self.rng.choice(scope)))
+                else:
+                    arguments.append(ast.IntLit(self.rng.randint(0, 6)))
+            else:
+                arguments.append(self.expression(scope, min(depth, 1)))
+        return ast.CallExpr(callee.name, tuple(arguments))
+
+    def condition(self, scope: list[str]) -> ast.Cond:
+        roll = self.rng.random()
+        if roll < 0.1:
+            return ast.NondetBool()
+        op = self.rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        condition: ast.Cond = ast.Compare(
+            op,
+            self.expression(scope, 1, calls=False),
+            self.expression(scope, 1, calls=False),
+        )
+        if roll < 0.25:
+            condition = ast.BoolOp(
+                self.rng.choice(["&&", "||"]),
+                condition,
+                ast.Compare(
+                    self.rng.choice(["<", "<=", ">", ">="]),
+                    self.expression(scope, 0),
+                    self.expression(scope, 0),
+                ),
+            )
+        if self.rng.random() < 0.1:
+            condition = ast.NotCond(condition)
+        return condition
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def statements(
+        self, scope: list[str], budget: int, assignable: list[str]
+    ) -> list[ast.Stmt]:
+        """A straight-line/branching statement sequence of roughly ``budget``
+        statements.  ``scope`` is extended in place with new locals;
+        ``assignable`` lists the names stores may target (loop counters and
+        captured bounds are excluded by their creators)."""
+        out: list[ast.Stmt] = []
+        remaining = budget
+        while remaining > 0:
+            remaining -= 1
+            kind = self.rng.choice(
+                ["decl", "assign", "cost", "if", "loop", "assert", "assume", "callstmt"]
+            )
+            if kind == "decl" or (kind == "assign" and not assignable):
+                name = self.fresh("t")
+                out.append(ast.VarDecl(name, self.expression(scope)))
+                scope.append(name)
+                assignable.append(name)
+            elif kind == "assign":
+                target = self.rng.choice(assignable)
+                if self.rng.random() < 0.08:
+                    out.append(ast.Havoc(target))
+                else:
+                    out.append(ast.Assign(target, self.expression(scope)))
+            elif kind == "cost":
+                out.append(_cost_bump(self.rng.randint(1, 3)))
+            elif kind == "if" and remaining >= 1:
+                then_scope = list(scope)
+                then_branch = ast.Block(
+                    tuple(self.statements(then_scope, min(remaining, 2), list(assignable)))
+                )
+                else_branch = None
+                if self.rng.random() < 0.4:
+                    else_scope = list(scope)
+                    else_branch = ast.Block(
+                        tuple(
+                            self.statements(else_scope, min(remaining, 2), list(assignable))
+                        )
+                    )
+                out.append(ast.If(self.condition(scope), then_branch, else_branch))
+                remaining -= 2
+            elif kind == "loop" and remaining >= 2:
+                out.append(self.loop(scope, min(remaining, 3), assignable))
+                remaining -= 3
+            elif kind == "assert" and self.rng.random() < 0.5:
+                out.append(ast.Assert(self.assertion(scope)))
+            elif kind == "assume" and self.rng.random() < 0.25:
+                # Sparse on purpose: assumes block concrete runs, and a
+                # program that blocks every run teaches the oracle nothing.
+                out.append(ast.Assume(self.condition(scope)))
+            elif kind == "callstmt" and self.signatures:
+                out.append(ast.CallStmt(self.call(self.rng.choice(self.signatures), scope)))
+        return out
+
+    def assertion(self, scope: list[str]) -> ast.Cond:
+        """Assertions biased toward *plausible* facts.
+
+        A mix of certainly-true facts (sound tools must never refute them),
+        and data-dependent claims (sound tools may prove them only when they
+        actually hold — the concrete oracle cross-checks every "proved").
+        """
+        roll = self.rng.random()
+        if roll < 0.4:
+            return ast.Compare(">=", ast.VarRef(COST), ast.IntLit(0))
+        if roll < 0.6 and scope:
+            x = ast.VarRef(self.rng.choice(scope))
+            c = ast.IntLit(self.constant(low=1))
+            return ast.Compare("<=", x, ast.BinOp("+", x, c))
+        if roll < 0.8 and scope:
+            return ast.Compare(
+                self.rng.choice(["<=", ">=", "<", ">"]),
+                ast.VarRef(self.rng.choice(scope)),
+                ast.IntLit(self.constant()),
+            )
+        return self.condition(scope)
+
+    def loop(self, scope: list[str], body_budget: int, assignable: list[str]) -> ast.Stmt:
+        """A guarded, always-terminating ``while`` loop.
+
+        The bound is captured in a local the body never assigns; the counter
+        only the trailing increment touches.  Returns the capture + loop as
+        one block."""
+        bound = self.fresh("b")
+        counter = self.fresh("i")
+        capture = ast.VarDecl(bound, self.expression(scope, 1))
+        init = ast.VarDecl(counter, ast.IntLit(0))
+        inner_scope = scope + [bound, counter]
+        # assignable deliberately excludes the counter and the bound.
+        body = self.statements(list(inner_scope), body_budget, list(assignable))
+        body.append(ast.Assign(counter, ast.BinOp("+", ast.VarRef(counter), ast.IntLit(1))))
+        loop = ast.While(
+            ast.Compare("<", ast.VarRef(counter), ast.VarRef(bound)),
+            ast.Block(tuple(body)),
+        )
+        return ast.Block((capture, init, loop))
+
+    # ------------------------------------------------------------------ #
+    # Procedures
+    # ------------------------------------------------------------------ #
+    def straight_procedure(self, name: str) -> ast.Procedure:
+        parameters = self.parameters()
+        scope = [COST] + list(parameters)
+        body: list[ast.Stmt] = [_cost_bump(1)]
+        body += self.statements(scope, self.config.statement_budget, list(parameters))
+        body.append(ast.Return(self.expression(scope, 1)))
+        return ast.Procedure(
+            name, tuple(ast.Parameter(p) for p in parameters), ast.Block(tuple(body))
+        )
+
+    def loop_procedure(self, name: str) -> ast.Procedure:
+        parameters = self.parameters()
+        scope = [COST] + list(parameters)
+        body: list[ast.Stmt] = [_cost_bump(1)]
+        for _ in range(self.rng.randint(1, 2)):
+            body.append(self.loop(scope, 3, list(parameters)))
+        body.append(ast.Return(self.expression(scope, 1)))
+        return ast.Procedure(
+            name, tuple(ast.Parameter(p) for p in parameters), ast.Block(tuple(body))
+        )
+
+    def recursive_procedure(self, name: str, mutual_with: str | None = None) -> ast.Procedure:
+        """A self-recursive (or half of a mutually-recursive) procedure:
+        base case up front, strict descent on the first parameter."""
+        parameters = self.parameters()
+        n = parameters[0]
+        scope = [COST] + list(parameters)
+        base_limit = self.rng.randint(0, 1)
+        base_scope = list(scope)
+        base_body = self.statements(base_scope, 2, list(parameters))
+        base_body.append(ast.Return(self.expression(base_scope, 1)))
+        base = ast.If(
+            ast.Compare("<=", ast.VarRef(n), ast.IntLit(base_limit)),
+            ast.Block(tuple(base_body)),
+        )
+        body: list[ast.Stmt] = [_cost_bump(1), base]
+        body += self.statements(scope, self.config.statement_budget // 2, list(parameters))
+        callee = mutual_with or name
+        divide = self.rng.random() < 0.4
+        calls = self.rng.randint(1, self.config.max_recursive_calls)
+        if divide and calls > 2:
+            calls = 2
+        for index in range(calls):
+            if divide:
+                descent: ast.Expr = ast.BinOp("/", ast.VarRef(n), ast.IntLit(self.rng.randint(2, 3)))
+            else:
+                descent = ast.BinOp("-", ast.VarRef(n), ast.IntLit(self.rng.randint(1, 2)))
+            arguments: list[ast.Expr] = [descent]
+            for _ in parameters[1:]:
+                arguments.append(self.expression(scope, 1))
+            call = ast.CallExpr(callee, tuple(arguments))
+            if self.rng.random() < 0.5:
+                local = self.fresh("r")
+                body.append(ast.VarDecl(local, call))
+                scope.append(local)
+            elif index == 0 and self.rng.random() < 0.3:
+                # Tree recursion guarded by non-determinism (the paper's
+                # ``differ`` shape): still strictly descending.
+                body.append(
+                    ast.If(ast.NondetBool(), ast.Block((ast.CallStmt(call),)))
+                )
+            else:
+                body.append(ast.CallStmt(call))
+        body += self.statements(scope, 2, list(parameters))
+        body.append(ast.Return(self.expression(scope, 1)))
+        return ast.Procedure(
+            name, tuple(ast.Parameter(p) for p in parameters), ast.Block(tuple(body))
+        )
+
+    def parameters(self) -> tuple[str, ...]:
+        return ("n",) if self.rng.random() < 0.6 else ("n", "m")
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> ast.Program:
+        globals_: list[ast.GlobalDecl] = [ast.GlobalDecl(COST, 0)]
+        if self.rng.random() < 0.3:
+            globals_.append(ast.GlobalDecl("g0", self.rng.randint(0, 2)))
+        procedures: list[ast.Procedure] = []
+        helper_count = self.rng.randint(0, self.config.max_procedures - 1)
+        index = 0
+        while index < helper_count:
+            name = f"f{index}"
+            shape = self.rng.choice(["straight", "loop", "selfrec", "mutual"])
+            if shape == "mutual" and index + 1 < helper_count:
+                other = f"f{index + 1}"
+                first = self.recursive_procedure(name, mutual_with=other)
+                # Register the pair before building the second half so the
+                # oracle and later procedures see both as recursive.
+                self.signatures.append(
+                    _Signature(name, first.scalar_parameters, True, True)
+                )
+                second = self.recursive_procedure(other, mutual_with=name)
+                # The mutual edge must share the pair's arity: regenerate the
+                # second half until the parameter draw matches.
+                while len(second.parameters) != len(first.parameters):
+                    second = self.recursive_procedure(other, mutual_with=name)
+                procedures += [first, second]
+                self.signatures.append(
+                    _Signature(other, second.scalar_parameters, True, True)
+                )
+                index += 2
+                continue
+            if shape == "selfrec" or shape == "mutual":
+                procedure = self.recursive_procedure(name)
+                recursive = True
+            elif shape == "loop":
+                procedure = self.loop_procedure(name)
+                recursive = False
+            else:
+                procedure = self.straight_procedure(name)
+                recursive = False
+            procedures.append(procedure)
+            self.signatures.append(
+                _Signature(name, procedure.scalar_parameters, recursive, True)
+            )
+            index += 1
+        # The entry: recursive more often than not — recursion is what the
+        # paper (and the oracle's depth/cost checks) are about.  A recursive
+        # entry whose body calls an earlier recursive helper is exactly the
+        # stratified-recurrence nest shape.
+        entry_shape = self.rng.choice(["selfrec", "selfrec", "selfrec", "loop", "straight"])
+        if entry_shape == "selfrec":
+            entry = self.recursive_procedure(ENTRY)
+        elif entry_shape == "loop":
+            entry = self.loop_procedure(ENTRY)
+        else:
+            entry = self.straight_procedure(ENTRY)
+        procedures.append(entry)
+        return ast.Program(tuple(globals_), tuple(procedures))
+
+
+def _cost_bump(amount: int) -> ast.Stmt:
+    return ast.Assign(COST, ast.BinOp("+", ast.VarRef(COST), ast.IntLit(amount)))
+
+
+def generate_program(seed: int, config: GeneratorConfig = GeneratorConfig()) -> ast.Program:
+    """Generate one well-formed program — a pure function of its inputs."""
+    return _Builder(seed, config).build()
+
+
+# ---------------------------------------------------------------------- #
+# Pretty printer
+# ---------------------------------------------------------------------- #
+def format_program(program: ast.Program) -> str:
+    """Render a program as indented, re-parseable source text.
+
+    ``str(program)`` already round-trips through the parser but prints each
+    procedure on one line; fuzz findings are written for humans to read.
+    """
+    lines: list[str] = [str(g) for g in program.globals]
+    for procedure in program.procedures:
+        if lines:
+            lines.append("")
+        kind = "int" if procedure.returns_value else "void"
+        params = ", ".join(str(p) for p in procedure.parameters)
+        lines.append(f"{kind} {procedure.name}({params}) {{")
+        lines += _format_block(procedure.body, 1)
+        lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _format_block(block: ast.Block, indent: int) -> list[str]:
+    lines: list[str] = []
+    pad = "    " * indent
+    for statement in block.statements:
+        if isinstance(statement, ast.Block):
+            lines += _format_block(statement, indent)
+        elif isinstance(statement, ast.If):
+            lines.append(f"{pad}if ({statement.condition}) {{")
+            lines += _format_block(statement.then_branch, indent + 1)
+            if statement.else_branch is not None:
+                lines.append(f"{pad}}} else {{")
+                lines += _format_block(statement.else_branch, indent + 1)
+            lines.append(f"{pad}}}")
+        elif isinstance(statement, ast.While):
+            lines.append(f"{pad}while ({statement.condition}) {{")
+            lines += _format_block(statement.body, indent + 1)
+            lines.append(f"{pad}}}")
+        else:
+            lines.append(f"{pad}{statement}")
+    return lines

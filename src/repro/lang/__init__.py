@@ -28,9 +28,11 @@ from .callgraph import CallGraph, build_call_graph
 from .fingerprint import fingerprint_cone, procedure_fingerprints
 from .interp import (
     AssertionFailure,
+    AssumeBlocked,
     ExecutionLimitExceeded,
     ExecutionResult,
     Interpreter,
+    InterpreterError,
 )
 
 __all__ = [
@@ -56,7 +58,9 @@ __all__ = [
     "fingerprint_cone",
     "procedure_fingerprints",
     "AssertionFailure",
+    "AssumeBlocked",
     "ExecutionLimitExceeded",
     "ExecutionResult",
     "Interpreter",
+    "InterpreterError",
 ]

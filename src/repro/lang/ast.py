@@ -87,8 +87,12 @@ class VarRef(Expr):
 class BinOp(Expr):
     """A binary arithmetic operation: ``+``, ``-``, ``*`` or ``/``.
 
-    Division denotes integer (floor-towards-zero for non-negative operands)
-    division and is modelled relationally by the semantics.
+    Division denotes *floor* division (Python ``//``, rounding toward
+    negative infinity) and is modelled relationally by the semantics; the
+    analyses support it for positive constant divisors only, where the
+    relational model is exact for every integer dividend — including
+    negative ones.  (C's truncation toward zero differs on negative
+    dividends; this language is defined to floor.)
     """
 
     op: str

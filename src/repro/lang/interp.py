@@ -9,12 +9,20 @@ recursion depths).
 Semantics notes
 ---------------
 * All variables are mathematical integers (no overflow).
-* ``nondet()`` draws from a configurable range; ``nondet(lo, hi)`` draws
-  uniformly from ``[lo, hi)``.
+* ``nondet()`` draws from the configurable half-open ``nondet_range``;
+  ``nondet(lo, hi)`` draws uniformly from ``[lo, hi)``.  An *empty* range
+  (``hi <= lo``) denotes no value at all: like a failed ``assume``, it
+  blocks the execution (:class:`AssumeBlocked`) instead of fabricating a
+  value outside the range — fabricating one would poison every differential
+  oracle built on this interpreter.
+* Division is floor division (Python ``//``), matching the relational model
+  in :mod:`repro.lang.semantics` for positive constant divisors.
 * Array reads draw a non-deterministic value unless the array was passed as a
   concrete Python sequence, in which case real contents are used.
-* Assertion failures raise :class:`AssertionFailure`; resource limits raise
-  :class:`ExecutionLimitExceeded`.
+* Assertion failures raise :class:`AssertionFailure`; blocked ``assume``
+  statements raise the distinct :class:`AssumeBlocked` (a discarded run, not
+  a bug); resource limits raise :class:`ExecutionLimitExceeded`; calls whose
+  argument count does not match the callee raise :class:`InterpreterError`.
 """
 
 from __future__ import annotations
@@ -27,14 +35,32 @@ from . import ast
 
 __all__ = [
     "AssertionFailure",
+    "AssumeBlocked",
     "ExecutionLimitExceeded",
     "ExecutionResult",
     "Interpreter",
+    "InterpreterError",
 ]
 
 
 class AssertionFailure(Exception):
     """A program assertion evaluated to false."""
+
+
+class AssumeBlocked(Exception):
+    """The execution was blocked: a failed ``assume`` or an empty nondet range.
+
+    Distinct from :class:`AssertionFailure` on purpose — a blocked execution
+    carries no information about the program (the chosen inputs simply do not
+    reach the interesting states) and differential oracles must *discard*
+    such runs, whereas a failed assertion on admitted inputs is a real
+    counterexample.
+    """
+
+
+class InterpreterError(Exception):
+    """The program is malformed in a way the interpreter refuses to paper
+    over (currently: call-arity mismatches)."""
 
 
 class ExecutionLimitExceeded(Exception):
@@ -57,6 +83,10 @@ class ExecutionResult:
     globals: dict[str, int]
     steps: int
     max_recursion_depth: int
+    #: per-procedure peak of *simultaneously live* frames of that procedure
+    #: (the concrete counterpart of the paper's height ``H``: a procedure
+    #: whose depth bound is ``B`` admits at most ``B`` nested frames).
+    procedure_depths: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -74,6 +104,8 @@ class Interpreter:
         self._steps = 0
         self._max_depth_seen = 0
         self._arrays: dict[str, Sequence[int]] = {}
+        self._live_frames: dict[str, int] = {}
+        self._peak_frames: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Entry point
@@ -89,6 +121,8 @@ class Interpreter:
         self._steps = 0
         self._max_depth_seen = 0
         self._arrays = dict(arrays or {})
+        self._live_frames = {}
+        self._peak_frames = {}
         self._globals = {g.name: (g.init or 0) for g in self.program.globals}
         if globals_init:
             self._globals.update(globals_init)
@@ -100,6 +134,7 @@ class Interpreter:
             globals=dict(self._globals),
             steps=self._steps,
             max_recursion_depth=self._max_depth_seen,
+            procedure_depths=dict(self._peak_frames),
         )
 
     # ------------------------------------------------------------------ #
@@ -110,22 +145,39 @@ class Interpreter:
     ) -> dict[str, int]:
         scalars = procedure.scalar_parameters
         if isinstance(arguments, Mapping):
-            return {name: int(arguments.get(name, 0)) for name in scalars}
+            unknown = sorted(set(arguments) - set(scalars))
+            missing = sorted(set(scalars) - set(arguments))
+            if unknown or missing:
+                raise InterpreterError(
+                    f"arguments for {procedure.name}() do not match its scalar"
+                    f" parameters {list(scalars)}:"
+                    f" missing {missing or 'none'}, unknown {unknown or 'none'}"
+                )
+            return {name: int(arguments[name]) for name in scalars}
         values = list(arguments)
-        bound: dict[str, int] = {}
-        for index, name in enumerate(scalars):
-            bound[name] = int(values[index]) if index < len(values) else 0
-        return bound
+        if len(values) != len(scalars):
+            raise InterpreterError(
+                f"{procedure.name}() takes {len(scalars)} scalar argument(s)"
+                f" {list(scalars)} but {len(values)} were given"
+            )
+        return dict(zip(scalars, (int(value) for value in values)))
 
     def _call(self, procedure: ast.Procedure, locals_: dict[str, int], depth: int) -> Optional[int]:
         if depth > self.max_depth:
             raise ExecutionLimitExceeded(f"recursion depth exceeded {self.max_depth}")
         self._max_depth_seen = max(self._max_depth_seen, depth)
+        name = procedure.name
+        live = self._live_frames.get(name, 0) + 1
+        self._live_frames[name] = live
+        if live > self._peak_frames.get(name, 0):
+            self._peak_frames[name] = live
         frame = dict(locals_)
         try:
             self._execute_block(procedure.body, frame, depth)
         except _ReturnSignal as signal:
             return signal.value
+        finally:
+            self._live_frames[name] = live - 1
         return None
 
     # ------------------------------------------------------------------ #
@@ -176,10 +228,12 @@ class Interpreter:
             if not self._evaluate_condition(statement.condition, frame, depth):
                 raise AssertionFailure(str(statement.condition))
         elif isinstance(statement, ast.Assume):
-            # A failed assume silently blocks the execution; for the concrete
-            # oracle we treat it as an assertion on the chosen inputs.
+            # A failed assume blocks the execution: the chosen inputs are
+            # outside the program's admitted space.  Raising the distinct
+            # AssumeBlocked (never AssertionFailure) lets oracles discard
+            # the run instead of miscounting it as a counterexample.
             if not self._evaluate_condition(statement.condition, frame, depth):
-                raise AssertionFailure(f"assume({statement.condition}) blocked")
+                raise AssumeBlocked(f"assume({statement.condition}) blocked")
         else:
             raise TypeError(f"unsupported statement {statement!r}")
 
@@ -202,11 +256,17 @@ class Interpreter:
     # Expressions
     # ------------------------------------------------------------------ #
     def _draw_nondet(self, lower: Optional[int] = None, upper: Optional[int] = None) -> int:
+        # Both the explicit ``nondet(lo, hi)`` range and the configured
+        # default are half-open ``[lo, hi)``.  An empty range denotes *no*
+        # admissible value: block the execution exactly like a failed
+        # assume.  (The old behaviour — clamping and returning ``lo`` —
+        # produced a value outside the range, which is unsound as an
+        # oracle: ``nondet(0, n)`` with ``n == 0`` must not yield 0.)
         low = lower if lower is not None else self.nondet_range[0]
-        high = (upper - 1) if upper is not None else self.nondet_range[1]
-        if high < low:
-            high = low
-        return self.rng.randint(low, high)
+        high = upper if upper is not None else self.nondet_range[1]
+        if high <= low:
+            raise AssumeBlocked(f"empty nondet range [{low}, {high})")
+        return self.rng.randrange(low, high)
 
     def _evaluate(self, expression: ast.Expr, frame: dict[str, int], depth: int) -> int:
         if isinstance(expression, ast.IntLit):
@@ -258,14 +318,21 @@ class Interpreter:
             return self._evaluate(expression.else_value, frame, depth)
         if isinstance(expression, ast.CallExpr):
             procedure = self.program.procedure(expression.callee)
+            if len(expression.args) != len(procedure.parameters):
+                # Zero-filling missing scalars (and dropping extras) would
+                # silently run a different program than the one written.
+                raise InterpreterError(
+                    f"call {expression} passes {len(expression.args)}"
+                    f" argument(s) but {procedure.name}() declares"
+                    f" {len(procedure.parameters)} parameter(s)"
+                )
             # Bind parameters positionally; arguments in array positions are
             # not evaluated (arrays carry no integer state).
-            arguments: dict[str, int] = {}
+            frame_in: dict[str, int] = {}
             for parameter, argument in zip(procedure.parameters, expression.args):
                 if parameter.is_array:
                     continue
-                arguments[parameter.name] = self._evaluate(argument, frame, depth)
-            frame_in = {name: arguments.get(name, 0) for name in procedure.scalar_parameters}
+                frame_in[parameter.name] = self._evaluate(argument, frame, depth)
             result = self._call(procedure, frame_in, depth + 1)
             return result if result is not None else 0
         raise TypeError(f"unsupported expression {expression!r}")

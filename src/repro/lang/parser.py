@@ -561,10 +561,91 @@ class _Parser:
         )
 
 
+def _validate_call_arities(program: Program) -> None:
+    """Reject calls whose argument count disagrees with the callee.
+
+    The program is fully known at this point, so arity mismatches are
+    detectable statically; letting them through would leave the error to
+    whatever consumer runs first (the interpreter now raises, but analyses
+    would silently zero-fill).  Calls to procedures not defined in this
+    program are left alone — the fragment parsers used by tests accept them.
+    """
+    signatures = {p.name: len(p.parameters) for p in program.procedures}
+
+    def visit_expression(owner: str, expression: Expr) -> None:
+        if isinstance(expression, CallExpr):
+            declared = signatures.get(expression.callee)
+            if declared is not None and len(expression.args) != declared:
+                raise ParseError(
+                    f"call to {expression.callee}() in {owner}() passes"
+                    f" {len(expression.args)} argument(s) but its definition"
+                    f" declares {declared} parameter(s)"
+                )
+            for argument in expression.args:
+                visit_expression(owner, argument)
+        elif isinstance(expression, (BinOp, MinMax)):
+            visit_expression(owner, expression.left)
+            visit_expression(owner, expression.right)
+        elif isinstance(expression, UnaryNeg):
+            visit_expression(owner, expression.operand)
+        elif isinstance(expression, Nondet):
+            for bound in (expression.lower, expression.upper):
+                if bound is not None:
+                    visit_expression(owner, bound)
+        elif isinstance(expression, ArrayRead):
+            visit_expression(owner, expression.index)
+        elif isinstance(expression, Ternary):
+            visit_condition(owner, expression.condition)
+            visit_expression(owner, expression.then_value)
+            visit_expression(owner, expression.else_value)
+
+    def visit_condition(owner: str, condition: Cond) -> None:
+        if isinstance(condition, Compare):
+            visit_expression(owner, condition.left)
+            visit_expression(owner, condition.right)
+        elif isinstance(condition, BoolOp):
+            visit_condition(owner, condition.left)
+            visit_condition(owner, condition.right)
+        elif isinstance(condition, NotCond):
+            visit_condition(owner, condition.operand)
+
+    def visit_statement(owner: str, statement: Stmt) -> None:
+        if isinstance(statement, Block):
+            for child in statement.statements:
+                visit_statement(owner, child)
+        elif isinstance(statement, (VarDecl, Return)):
+            if getattr(statement, "init", None) is not None:
+                visit_expression(owner, statement.init)
+            if getattr(statement, "value", None) is not None:
+                visit_expression(owner, statement.value)
+        elif isinstance(statement, Assign):
+            visit_expression(owner, statement.value)
+        elif isinstance(statement, ArrayWrite):
+            visit_expression(owner, statement.index)
+            visit_expression(owner, statement.value)
+        elif isinstance(statement, CallStmt):
+            visit_expression(owner, statement.call)
+        elif isinstance(statement, If):
+            visit_condition(owner, statement.condition)
+            visit_statement(owner, statement.then_branch)
+            if statement.else_branch is not None:
+                visit_statement(owner, statement.else_branch)
+        elif isinstance(statement, While):
+            visit_condition(owner, statement.condition)
+            visit_statement(owner, statement.body)
+        elif isinstance(statement, (Assert, Assume)):
+            visit_condition(owner, statement.condition)
+
+    for procedure in program.procedures:
+        visit_statement(procedure.name, procedure.body)
+
+
 def parse_program(source: str) -> Program:
     """Parse a complete program (globals + procedures)."""
     parser = _Parser(tokenize(source))
-    return parser.parse_program()
+    program = parser.parse_program()
+    _validate_call_arities(program)
+    return program
 
 
 def parse_procedure_body(source: str) -> Block:

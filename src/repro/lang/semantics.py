@@ -10,9 +10,11 @@ paper's front end:
 * ``!=`` becomes a disjunction of strict comparisons;
 * integer division ``e / c`` by a positive constant ``c`` is modelled
   relationally by a fresh quotient symbol ``q`` with
-  ``c*q <= e  /\\  e <= c*q + (c - 1)``, which is exact floor division for
-  non-negative dividends (the divide-and-conquer benchmarks only divide
-  non-negative sizes);
+  ``c*q <= e  /\\  e <= c*q + (c - 1)``; over the integers this pins ``q``
+  to exactly ``floor(e / c)`` for *every* dividend — negative ones included
+  — which is precisely the interpreter's Python ``//`` (over the rationals
+  the polyhedral relaxation widens ``q`` to an interval of width < 1, a
+  sound over-approximation that still contains the floor value);
 * ``nondet()`` introduces an unconstrained fresh symbol, ``nondet(lo, hi)``
   adds ``lo <= v < hi``;
 * array reads are unconstrained fresh symbols and array writes are no-ops

@@ -97,10 +97,13 @@ class TestOverviewExample:
         summary = result.summaries["subsetSumAux"]
         assert summary.is_recursive
         assert summary.bounded_terms
-        # Depth bound: h <= 1 + n - i (arithmetic descent on n - i).
+        # Depth bound: h <= max(1, 1 + n - i) (arithmetic descent on n - i;
+        # the clamp covers calls with i > n, which return at height 1).
         n, i = sympy.symbols("n i", positive=True)
         assert summary.depth_bound.symbolic_bound is not None
-        assert sympy.simplify(summary.depth_bound.symbolic_bound - (n - i + 1)) == 0
+        assert sympy.simplify(
+            summary.depth_bound.symbolic_bound - sympy.Max(1, n - i + 1)
+        ) == 0
         # Cost and return-value bounds at i = 0.
         ticks = cost_bound(result, "subsetSumAux", "nTicks", substitutions={"i": 0, "sum": 0})
         assert ticks.asymptotic == "O(2^n)"

@@ -1,0 +1,4 @@
+int main(int n) {
+    assume(n > 10);
+    return n;
+}

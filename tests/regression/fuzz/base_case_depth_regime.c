@@ -1,0 +1,37 @@
+// Minimized from fuzz seed 0, programs 67 and 138 (`repro fuzz --seed 0`).
+//
+// f1 is called with an argument (-5) that hits its base case immediately:
+// the call terminates at recursion height 1 and still costs one frame.
+// The descent-derived depth constraint `1 <= H <= n` counts frames inside
+// the recursive region, so it is unsatisfiable at n = -5 — conjoining it
+// unconditionally made the call spuriously infeasible.  The disequality
+// guard is always true at positive arguments (so every concrete run takes
+// the f1 branch) but is not polyhedrally resolvable, so the analysis kept
+// only the cheap else branch and claimed 2 cost units per level where the
+// concrete execution pays 6.  The constraint is now guarded by the
+// recursion regime: `H <= 1 \/ (H >= 2 /\ H <= n)`.
+int cost = 0;
+
+int f1(int n) {
+    cost = cost + 1;
+    if (n <= 1) {
+        return n;
+    }
+    int r = f1(n - 1);
+    return r;
+}
+
+int main(int n, int m) {
+    cost = cost + 1;
+    if (n <= 1) {
+        return 0;
+    }
+    if ((m + 4) != (-n)) {
+        f1(-5);
+        cost = cost + 4;
+    } else {
+        cost = cost + 1;
+    }
+    main(n / 2, m);
+    return cost;
+}

@@ -1,0 +1,7 @@
+int f(int a, int b) {
+    return a + b;
+}
+
+int main(int n) {
+    return f(n);
+}

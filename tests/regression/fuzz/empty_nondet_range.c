@@ -1,0 +1,4 @@
+int main(int n) {
+    int x = nondet(0, n);
+    return x;
+}

@@ -1,0 +1,7 @@
+int cost = 0;
+
+int main(int n) {
+    cost = cost + 1;
+    assert(max(cost, 5) <= (8 / 3));
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Minimized from fuzz seed 0, program 68 (campaign `repro fuzz --seed 0`).
+//
+// Concretely falsifiable: f0(1) computes r2 = f0(0) = max(0, 1) = 1 and
+// r3 = f0(-1) = max(-1, 1) = 1, the guard 0 >= -r2 holds, and the
+// assertion 1 > 2 fails.  The unrolling baseline nevertheless "proved" it:
+// both inlined copies of f0's level-k summary carry identical auxiliary
+// bound names (the `max` result, the cost counter's intermediate value),
+// and the DNF enumeration hoisted both binders by name union — conflating
+// the two calls' distinct auxiliaries forced r2's path and r3's path to
+// agree, making the guarded path vacuously infeasible.
+int cost = 0;
+
+int f0(int n) {
+    cost = cost + 1;
+    if (n <= 0) {
+        return max(n, 1);
+    }
+    int r2 = f0(n - 1);
+    int r3 = f0(n - 2);
+    if (0 >= (-r2)) {
+        assert(r3 > 2);
+    }
+    return r2;
+}
+
+int main(int n) {
+    int r = f0(n);
+    return r;
+}

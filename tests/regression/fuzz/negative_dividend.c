@@ -1,0 +1,7 @@
+void main(int n) {
+    assume(n == -7);
+    int q = n / 2;
+    assert(q == -4);
+    assert(q >= -4);
+    assert(q <= -4);
+}

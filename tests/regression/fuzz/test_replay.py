@@ -1,0 +1,138 @@
+"""Replay the committed corpus of minimized fuzz findings.
+
+Every ``.c`` file in this directory is a shrunk reproducer for a bug the
+differential fuzzer (``repro fuzz``) flushed out; each test here asserts the
+*fixed* behaviour, so a regression re-introducing the bug fails tier-1.
+
+The corpus (one line of history per case):
+
+* ``empty_nondet_range.c`` — ``nondet(0, n)`` with ``n == 0`` used to clamp
+  and silently return 0, a value outside the empty range; it must block.
+* ``assume_vs_assert.c`` — a failed ``assume`` used to raise the same
+  exception as a failed ``assert``, so oracles miscounted blocked runs as
+  counterexamples; the exceptions are now distinct.
+* ``call_arity_mismatch.c`` — a call with the wrong arity used to zero-fill
+  missing parameters and run a different program; it is now rejected at
+  parse time (and by the interpreter for hand-built ASTs).
+* ``exists_negation_assert.c`` — assertion conditions introducing auxiliary
+  existential symbols (``max``, division quotients, ``nondet``) crashed the
+  checker with "cannot negate an existentially quantified formula"; the
+  negation now happens syntactically, before translation.
+* ``negative_dividend.c`` — pins the floor-division semantics end-to-end:
+  the interpreter computes ``-7 / 2 == -4`` and the relational model proves
+  exactly that value (C-style truncation, ``-3``, would fail both ways).
+* ``inlined_summary_name_capture.c`` — two calls to the same procedure
+  inline two copies of one summary carrying identical auxiliary bound
+  names; the DNF enumeration used to hoist both binders by name union,
+  conflating distinct variables and "proving" a concretely-failing
+  assertion; colliding bound names are now alpha-renamed.
+* ``base_case_depth_regime.c`` — a call whose argument hits the base case
+  immediately was made spuriously infeasible by the descent-derived depth
+  constraint (valid only for recursing executions); the constraint is now
+  guarded by ``H <= 1 \\/ (H >= 2 /\\ ...)`` and the caller's cost bound
+  counts the callee again.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import ChoraOptions, analyze_program, check_assertions
+from repro.lang import parse_program
+from repro.lang.interp import AssertionFailure, AssumeBlocked, Interpreter
+from repro.lang.parser import ParseError
+
+CORPUS = Path(__file__).parent
+
+
+def load(name: str) -> str:
+    return (CORPUS / name).read_text(encoding="utf-8")
+
+
+def test_corpus_is_covered():
+    """Every committed reproducer has a replay test; none is dead weight."""
+    covered = {
+        "empty_nondet_range.c",
+        "assume_vs_assert.c",
+        "call_arity_mismatch.c",
+        "exists_negation_assert.c",
+        "negative_dividend.c",
+        "inlined_summary_name_capture.c",
+        "base_case_depth_regime.c",
+    }
+    assert {path.name for path in CORPUS.glob("*.c")} == covered
+
+
+def test_empty_nondet_range_blocks():
+    program = parse_program(load("empty_nondet_range.c"))
+    with pytest.raises(AssumeBlocked):
+        Interpreter(program).run("main", [0])
+    # A non-empty range still admits values (half-open).
+    assert 0 <= Interpreter(program).run("main", [2]).return_value < 2
+
+
+def test_assume_blocks_without_failing():
+    program = parse_program(load("assume_vs_assert.c"))
+    with pytest.raises(AssumeBlocked) as blocked:
+        Interpreter(program).run("main", [1])
+    assert not isinstance(blocked.value, AssertionFailure)
+    assert Interpreter(program).run("main", [11]).return_value == 11
+
+
+def test_call_arity_mismatch_rejected_at_parse_time():
+    with pytest.raises(ParseError, match="1 argument"):
+        parse_program(load("call_arity_mismatch.c"))
+
+
+def test_exists_in_assertion_condition_yields_a_verdict():
+    program = parse_program(load("exists_negation_assert.c"))
+    options = ChoraOptions()
+    outcomes = check_assertions(analyze_program(program, options), options.abstraction)
+    # Pre-fix this raised ValueError; the condition is falsifiable
+    # (max(cost, 5) = 5 > 8/3 = 2), so the verdict must be "not proved".
+    assert [outcome.proved for outcome in outcomes] == [False]
+
+
+def test_inlined_summaries_keep_distinct_auxiliaries():
+    from repro.baselines.unroller import check_assertions_by_unrolling
+
+    source = load("inlined_summary_name_capture.c")
+    program = parse_program(source)
+    # Concrete side: f0(1) reaches the guarded assertion with r3 = 1.
+    with pytest.raises(AssertionFailure):
+        Interpreter(program).run("main", [1])
+    # Analyser side: no sound tool proves it.  Pre-fix, the two inlined
+    # copies of f0's summary shared auxiliary bound names and the DNF hoist
+    # conflated them, making the guarded path spuriously infeasible.
+    options = ChoraOptions()
+    for depth in (2, 3):
+        outcomes = check_assertions_by_unrolling(
+            program, depth=depth, options=options.abstraction
+        )
+        assert [outcome.proved for outcome in outcomes] == [False]
+
+
+def test_base_case_call_stays_feasible_outside_descent_regime():
+    from repro.fuzz import OracleConfig, check_program
+
+    source = load("base_case_depth_regime.c")
+    # Concrete side: f1(-5) terminates at height 1 and costs one frame.
+    cost_state = Interpreter(parse_program(source)).run("f1", [-5])
+    assert cost_state.globals["cost"] == 1
+    # Differential side: chora's cost claim for main must include that
+    # frame (pre-fix the call was infeasible and the bound undercounted).
+    report = check_program(source, OracleConfig(runs=6, baselines=False))
+    assert report.violations == []
+    assert report.findings == []
+
+
+def test_negative_dividend_division_agrees_end_to_end():
+    program = parse_program(load("negative_dividend.c"))
+    # Concrete side: the interpreter floors.
+    source_expr = parse_program("int main(int n) { return n / 2; }")
+    assert Interpreter(source_expr).run("main", [-7]).return_value == -4
+    # Analyser side: the relational model pins the same quotient.
+    options = ChoraOptions()
+    outcomes = check_assertions(analyze_program(program, options), options.abstraction)
+    assert len(outcomes) == 3
+    assert all(outcome.proved for outcome in outcomes)

@@ -183,6 +183,59 @@ class TestDnf:
         assert len(cubes) == 1
         assert t in cubes[0].bound
 
+    def test_conjoining_same_bound_name_alpha_renames(self):
+        # Two copies of one summary carry the same bound name for distinct
+        # variables (e.g. a procedure inlined at two call sites).  Conflating
+        # them is unsound: here t = x /\ t = y would wrongly force x = y.
+        t = fresh("t")
+        left = exists([t], atom_eq(Polynomial.var(t), PX))
+        right = exists([t], atom_eq(Polynomial.var(t), PY))
+        cubes = to_dnf(conjoin([left, right]))
+        assert len(cubes) == 1
+        cube = cubes[0]
+        assert len(cube.bound) == 2
+        # The two equations mention two different bound symbols.
+        mentioned = set()
+        for atom in cube.atoms:
+            mentioned |= {s for s in atom.polynomial.symbols if s in cube.bound}
+        assert len(mentioned) == 2
+
+    def test_exists_hoist_renames_shadowed_binder(self):
+        # exists t. (P(t) /\ exists t. Q(t)): the inner t shadows the outer
+        # one; hoisting both must keep the occurrences apart.
+        t = fresh("t")
+        inner = exists([t], atom_eq(Polynomial.var(t), PY))
+        formula = exists([t], conjoin([atom_eq(Polynomial.var(t), PX), inner]))
+        cubes = to_dnf(formula)
+        assert len(cubes) == 1
+        cube = cubes[0]
+        assert len(cube.bound) == 2
+        # x and y must not be transitively equated through a shared binder.
+        by_symbol: dict = {}
+        for atom in cube.atoms:
+            for s in atom.polynomial.symbols:
+                if s in cube.bound:
+                    by_symbol.setdefault(s, set()).update(atom.polynomial.symbols)
+        assert not any(X in used and Y in used for used in by_symbol.values())
+
+    def test_free_occurrence_is_not_captured_by_sibling_binder(self):
+        # t occurs free in the left conjunct and bound in the right one;
+        # conjoining must not capture the free occurrence.
+        t = fresh("t")
+        left = atom_eq(Polynomial.var(t), PX)
+        right = exists([t], atom_eq(Polynomial.var(t), PY))
+        cubes = to_dnf(conjoin([left, right]))
+        assert len(cubes) == 1
+        cube = cubes[0]
+        assert t not in cube.bound or all(
+            t not in atom.polynomial.symbols
+            for atom in cube.atoms
+            if X in atom.polynomial.symbols
+        )
+        # The original free t still appears in the x-equation.
+        x_atoms = [a for a in cube.atoms if X in a.polynomial.symbols]
+        assert x_atoms and all(t in a.polynomial.symbols for a in x_atoms)
+
     def test_cube_limit_collapses_soundly(self):
         # 2^12 cubes would exceed a limit of 16; the result must still contain
         # the common atom of every disjunct.

@@ -1,0 +1,188 @@
+"""Regression tests for interpreter/front-end bugs the fuzzer flushed out.
+
+Each test class pins one fix:
+
+* empty ``nondet(lo, hi)`` ranges block the run (no silent clamping);
+* ``assume`` raises :class:`AssumeBlocked`, distinct from assertion failure;
+* call-arity mismatches fail loudly — at parse time for whole programs, at
+  run time for hand-built ASTs;
+* division is floor division end-to-end: the interpreter and the relational
+  semantics agree on every dividend, negative ones included.
+"""
+
+import pytest
+
+from repro.core import ChoraOptions, analyze_program, check_assertions
+from repro.lang import ast, parse_program
+from repro.lang.interp import (
+    AssertionFailure,
+    AssumeBlocked,
+    Interpreter,
+    InterpreterError,
+)
+from repro.lang.parser import ParseError
+
+
+class TestEmptyNondetRange:
+    def test_empty_range_blocks(self):
+        program = parse_program(
+            "int main(int n) { int x = nondet(0, n); return x; }"
+        )
+        with pytest.raises(AssumeBlocked):
+            Interpreter(program).run("main", [0])
+
+    def test_reversed_range_blocks(self):
+        program = parse_program(
+            "int main() { int x = nondet(5, 2); return x; }"
+        )
+        with pytest.raises(AssumeBlocked):
+            Interpreter(program).run("main")
+
+    def test_nonempty_range_is_half_open(self):
+        program = parse_program(
+            "int main(int n) { int x = nondet(0, n); return x; }"
+        )
+        for seed in range(20):
+            import random
+
+            result = Interpreter(program, rng=random.Random(seed)).run("main", [3])
+            assert 0 <= result.return_value < 3
+
+    def test_singleton_range_yields_its_value(self):
+        program = parse_program("int main() { return nondet(4, 5); }")
+        assert Interpreter(program).run("main").return_value == 4
+
+    def test_default_range_is_half_open(self):
+        import random
+
+        program = parse_program("int main() { return nondet(); }")
+        interpreter = Interpreter(program, rng=random.Random(0), nondet_range=(3, 4))
+        assert interpreter.run("main").return_value == 3
+
+
+class TestAssumeBlockedDistinct:
+    def test_failed_assume_raises_assume_blocked(self):
+        program = parse_program("int main(int n) { assume(n > 10); return n; }")
+        with pytest.raises(AssumeBlocked):
+            Interpreter(program).run("main", [1])
+
+    def test_failed_assume_is_not_assertion_failure(self):
+        program = parse_program("int main(int n) { assume(n > 10); return n; }")
+        try:
+            Interpreter(program).run("main", [1])
+        except AssumeBlocked as blocked:
+            assert not isinstance(blocked, AssertionFailure)
+        else:  # pragma: no cover - the raise is the point
+            pytest.fail("expected AssumeBlocked")
+
+    def test_failed_assert_still_raises_assertion_failure(self):
+        program = parse_program("int main(int n) { assert(n > 10); return n; }")
+        with pytest.raises(AssertionFailure):
+            Interpreter(program).run("main", [1])
+
+    def test_assume_blocked_exported_from_lang(self):
+        from repro.lang import AssumeBlocked as exported
+
+        assert exported is AssumeBlocked
+
+
+class TestCallArity:
+    def test_parse_time_arity_validation(self):
+        with pytest.raises(ParseError, match="argument"):
+            parse_program(
+                "int f(int a, int b) { return a + b; }"
+                " int main() { return f(1); }"
+            )
+
+    def test_parse_time_arity_validation_excess(self):
+        with pytest.raises(ParseError, match="argument"):
+            parse_program(
+                "int f(int a) { return a; } int main() { return f(1, 2); }"
+            )
+
+    def test_interpreter_rejects_arity_mismatch(self):
+        # Built directly: the parser would reject this source.
+        callee = ast.Procedure(
+            "f",
+            (ast.Parameter("a"), ast.Parameter("b")),
+            ast.Block((ast.Return(ast.VarRef("a")),)),
+        )
+        entry = ast.Procedure(
+            "main",
+            (),
+            ast.Block((ast.Return(ast.CallExpr("f", (ast.IntLit(1),))),)),
+        )
+        program = ast.Program((), (callee, entry))
+        with pytest.raises(InterpreterError, match="argument"):
+            Interpreter(program).run("main")
+
+    def test_run_rejects_wrong_argument_count(self):
+        program = parse_program("int main(int n, int m) { return n + m; }")
+        with pytest.raises(InterpreterError, match="2 scalar argument"):
+            Interpreter(program).run("main", [1])
+
+    def test_run_rejects_unknown_named_argument(self):
+        program = parse_program("int main(int n) { return n; }")
+        with pytest.raises(InterpreterError, match="unknown"):
+            Interpreter(program).run("main", {"n": 1, "typo": 2})
+
+    def test_run_rejects_missing_named_argument(self):
+        program = parse_program("int main(int n, int m) { return n + m; }")
+        with pytest.raises(InterpreterError, match="missing"):
+            Interpreter(program).run("main", {"n": 1})
+
+
+class TestFloorDivision:
+    def test_interpreter_floors_negative_dividends(self):
+        program = parse_program("int main(int n) { return n / 2; }")
+        for dividend in range(-10, 11):
+            result = Interpreter(program).run("main", [dividend])
+            assert result.return_value == dividend // 2, dividend
+
+    def test_relational_model_agrees_on_negative_dividend(self):
+        # Differential pin of the division semantics: the analyser's
+        # relational model c*q <= e <= c*q + (c-1) must single out exactly
+        # the interpreter's floor(-7 / 2) = -4 (C-style truncation would
+        # give -3 and fail the equality assertion).
+        source = (
+            "void main(int n) {"
+            "  assume(n == -7);"
+            "  int q = n / 2;"
+            "  assert(q == -4);"
+            "  assert(q >= -4);"
+            "  assert(q <= -4);"
+            "}"
+        )
+        program = parse_program(source)
+        options = ChoraOptions()
+        outcomes = check_assertions(analyze_program(program, options), options.abstraction)
+        assert len(outcomes) == 3
+        assert all(outcome.proved for outcome in outcomes), [
+            str(outcome) for outcome in outcomes
+        ]
+
+    def test_interpreter_matches_concrete_floor_for_several_divisors(self):
+        for divisor in (2, 3, 4):
+            program = parse_program(f"int main(int n) {{ return n / {divisor}; }}")
+            for dividend in (-9, -1, 0, 1, 9):
+                result = Interpreter(program).run("main", [dividend])
+                assert result.return_value == dividend // divisor
+
+
+class TestProcedureDepths:
+    def test_peak_live_frames_counted_per_procedure(self):
+        program = parse_program(
+            "int f(int n) { if (n <= 0) { return 0; } int r = f(n - 1); return r; }"
+            " int main(int n) { return f(n); }"
+        )
+        result = Interpreter(program).run("main", [4])
+        assert result.procedure_depths["f"] == 5  # frames at n=4..0
+        assert result.procedure_depths["main"] == 1
+
+    def test_sibling_calls_do_not_accumulate(self):
+        program = parse_program(
+            "int g(int n) { return n; }"
+            " int main(int n) { int a = g(n); int b = g(n); return a + b; }"
+        )
+        result = Interpreter(program).run("main", [1])
+        assert result.procedure_depths["g"] == 1
