@@ -1,0 +1,603 @@
+"""DAG-parallel scheduling of call-graph SCCs for a *single* analysis.
+
+:func:`~repro.core.chora.analyze_program` walks the call-graph condensation
+in topological order, one SCC at a time.  The batch engine and the warm
+worker pool parallelise *across* programs, but one large program still runs
+serially.  This module parallelises *within* a program: independent SCCs —
+components with no dependency path between them — are analysed concurrently
+and their summaries merged at the join points of the condensation DAG.
+
+Workers are plain ``os.fork`` children, not :mod:`multiprocessing` processes:
+both the batch engine and the warm pool run analyses inside daemonic worker
+processes, which may not start multiprocessing children, while a raw fork is
+always available (on POSIX) and inherits the parsed program, contexts and
+the already-published callee summaries by copy-on-write — no input pickling
+at all.  A child analyses exactly one component, pickles the component's
+summaries back through a pipe, and ``_exit``\\ s; the parent merges records
+as they arrive and launches newly unblocked components.
+
+Determinism contract (pinned by ``tests/integration/test_determinism.py``):
+verdicts, bounds and rendered tables are bit-identical to a serial run at
+any worker count.  Like the incremental splice path, the *numbering* of
+fresh auxiliary symbols may differ between runs — it differs between any two
+serial runs of different programs too and carries no meaning.  Three
+mechanisms make this safe:
+
+- every child minting fresh symbols works in a region of the counter space
+  disjoint from every other concurrent child (a per-launch stride added to
+  the fork-time counter; the parent advances past each child's high-water
+  mark on merge), so two summaries can never accidentally share an auxiliary
+  symbol that a serial run would have kept distinct;
+- the final ``summaries``/``height_analyses`` dicts are rebuilt in the
+  serial SCC order, so JSON payload key order never depends on completion
+  order;
+- any child failure — an analysis error, a truncated pipe, a crash —
+  discards all parallel state and re-runs the whole program serially, so
+  even error behaviour (message text included) is exactly the serial path's.
+
+The worker count is *not* part of :class:`~repro.core.chora.ChoraOptions`
+and never enters cache keys: results are identical, so a parallel run may
+freely share result-cache entries and incremental-store records with serial
+runs.  Configuration travels through :func:`set_parallel_sccs` (in-process)
+or the ``REPRO_PARALLEL_SCCS`` environment variable (inherited by engine
+worker processes).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import select
+import signal
+import time
+import traceback
+from bisect import insort
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from ..analysis import ProcedureContext
+from ..formulas import TransitionFormula
+from ..formulas.symbols import advance_fresh_counter, fresh_counter
+from ..lang import ast
+from ..lang.callgraph import CallGraph, build_call_graph
+from .chora import AnalysisResult, ChoraOptions, analyze_component
+from .missing_base import transform_missing_base_cases
+from .summaries import ProcedureSummary
+
+__all__ = [
+    "PARALLEL_SCCS_ENV",
+    "ComponentTiming",
+    "ParallelScheduleReport",
+    "analyze_program_parallel",
+    "configured_parallel_sccs",
+    "fork_available",
+    "last_schedule_report",
+    "resolve_worker_request",
+    "run_component_dag",
+    "set_parallel_sccs",
+    "take_schedule_report",
+]
+
+PARALLEL_SCCS_ENV = "REPRO_PARALLEL_SCCS"
+
+#: Fresh-symbol region reserved per forked child (see the launch-counter
+#: argument in `_fork_component`): children may mint up to this many fresh
+#: symbols each before two concurrent children could collide.  Real
+#: components mint a few dozen; 2^24 is unbounded-integer-cheap headroom.
+_FRESH_STRIDE = 1 << 24
+
+#: A child whose payload exceeds the pipe buffer blocks in `os.write` until
+#: the parent drains it, so reads happen continuously in the merge loop.
+_PIPE_CHUNK = 1 << 16
+
+_override: Optional[int] = None
+_last_report: Optional["ParallelScheduleReport"] = None
+
+#: (summaries, height_analyses) for one component — what a child sends back
+#: and what an incremental resolve hook returns.
+ComponentRecord = tuple[dict[str, ProcedureSummary], dict[str, Any]]
+
+
+def fork_available() -> bool:
+    """True when the forked scheduler can run (POSIX ``os.fork``)."""
+    return hasattr(os, "fork")
+
+
+def resolve_worker_request(value: Any) -> int:
+    """Normalise a ``--parallel-sccs`` value: ``'auto'``/None → CPU count."""
+    if value is None or value == "auto":
+        return os.cpu_count() or 1
+    workers = int(value)
+    if workers < 0:
+        raise ValueError(f"parallel-sccs worker count must be >= 0, got {workers}")
+    return workers
+
+
+def set_parallel_sccs(workers: Optional[int]) -> Optional[int]:
+    """Set the process-wide SCC worker count; returns the previous override.
+
+    ``None`` removes the override (falling back to ``REPRO_PARALLEL_SCCS``,
+    then serial); ``0`` and ``1`` both mean serial.
+    """
+    global _override
+    previous = _override
+    _override = None if workers is None else max(0, int(workers))
+    return previous
+
+
+def configured_parallel_sccs() -> int:
+    """The effective SCC worker count: override, else environment, else 0."""
+    if _override is not None:
+        return _override
+    raw = os.environ.get(PARALLEL_SCCS_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        return resolve_worker_request(raw if raw == "auto" else int(raw))
+    except ValueError:
+        return 0
+
+
+@dataclass(frozen=True)
+class ComponentTiming:
+    """How one SCC was completed: its members, wall time and execution mode.
+
+    ``mode`` is ``forked`` (analysed in a child), ``inline`` (analysed in
+    the scheduling process), ``spliced`` (resolved from an incremental
+    record) or ``serial`` (no scheduler involved at all).
+    """
+
+    names: tuple[str, ...]
+    seconds: float
+    mode: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "procedures": list(self.names),
+            "seconds": round(self.seconds, 6),
+            "mode": self.mode,
+        }
+
+
+@dataclass(frozen=True)
+class ParallelScheduleReport:
+    """Per-SCC timing of the last scheduled analysis (ordered serially)."""
+
+    workers: int
+    timings: tuple[ComponentTiming, ...] = ()
+    fallback: bool = False
+
+    @property
+    def forked_components(self) -> int:
+        return sum(1 for t in self.timings if t.mode == "forked")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "fallback": self.fallback,
+            "components": [t.to_dict() for t in self.timings],
+        }
+
+
+def last_schedule_report() -> Optional[ParallelScheduleReport]:
+    return _last_report
+
+
+def take_schedule_report() -> Optional[ParallelScheduleReport]:
+    """Pop the last report (the warm worker attaches it to one reply)."""
+    global _last_report
+    report, _last_report = _last_report, None
+    return report
+
+
+def analyze_program_parallel(
+    program: ast.Program,
+    options: ChoraOptions = ChoraOptions(),
+    workers: Optional[int] = None,
+) -> AnalysisResult:
+    """Like :func:`~repro.core.chora.analyze_program`, scheduling independent
+    SCCs across ``workers`` forked children (default: the configured count).
+
+    With ``workers <= 1``, on platforms without ``fork``, or for programs
+    whose condensation is a chain, this degenerates to the serial pass.
+    """
+    if workers is None:
+        workers = configured_parallel_sccs()
+    if options.transform_missing_base:
+        program = transform_missing_base_cases(program)
+    procedures = {p.name: p for p in program.procedures}
+    contexts = {
+        name: ProcedureContext.of(procedure, program.global_names)
+        for name, procedure in procedures.items()
+    }
+    graph = build_call_graph(program)
+    components = graph.strongly_connected_components()
+    return run_component_dag(
+        program, graph, components, contexts, procedures, options, workers
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The scheduler
+# --------------------------------------------------------------------------- #
+
+
+class _ParallelFallback(Exception):
+    """Any parallel-path failure: discard everything, re-run serially."""
+
+
+@dataclass
+class _Child:
+    pid: int
+    fd: int
+    index: int
+    buffer: bytearray
+
+
+def run_component_dag(
+    program: ast.Program,
+    graph: CallGraph,
+    components: list[list[str]],
+    contexts: Mapping[str, ProcedureContext],
+    procedures: Mapping[str, ast.Procedure],
+    options: ChoraOptions,
+    workers: int,
+    resolve: Optional[Callable[[list[str]], Optional[ComponentRecord]]] = None,
+    on_analyzed: Optional[Callable[[list[str], ComponentRecord], None]] = None,
+) -> AnalysisResult:
+    """Analyse ``components`` (already in dependency-first order) and merge.
+
+    ``resolve`` may answer a component from a cache (the incremental splice
+    path) — it runs in the scheduling process only.  ``on_analyzed`` is
+    invoked in the scheduling process for every *freshly analysed* component
+    (inline or forked), in a deterministic order for inline/serial execution
+    and in completion order for forked children.  The resulting
+    :class:`AnalysisResult` dictionaries are ordered exactly as a serial run
+    would order them; :func:`last_schedule_report` describes the schedule.
+    """
+    result = AnalysisResult(program, {}, dict(contexts), graph)
+    external: dict[str, TransitionFormula] = {}
+    use_fork = workers > 1 and len(components) > 1 and fork_available()
+    fallback = False
+    if use_fork:
+        try:
+            timings = _schedule_forked(
+                program, graph, components, contexts, procedures, options,
+                workers, resolve, on_analyzed, result, external,
+            )
+        except _ParallelFallback:
+            # Start over from scratch: serial semantics are authoritative,
+            # including for errors, so nothing partial may survive.
+            fallback = True
+            result = AnalysisResult(program, {}, dict(contexts), graph)
+            external = {}
+            timings = _run_serial(
+                graph, components, contexts, procedures, options,
+                resolve, on_analyzed, result, external,
+            )
+    else:
+        timings = _run_serial(
+            graph, components, contexts, procedures, options,
+            resolve, on_analyzed, result, external,
+        )
+    global _last_report
+    _last_report = ParallelScheduleReport(workers, tuple(timings), fallback)
+    return result
+
+
+def _run_serial(
+    graph: CallGraph,
+    components: list[list[str]],
+    contexts: Mapping[str, ProcedureContext],
+    procedures: Mapping[str, ast.Procedure],
+    options: ChoraOptions,
+    resolve: Optional[Callable[[list[str]], Optional[ComponentRecord]]],
+    on_analyzed: Optional[Callable[[list[str], ComponentRecord], None]],
+    result: AnalysisResult,
+    external: dict[str, TransitionFormula],
+) -> list[ComponentTiming]:
+    """The exact serial pass of ``analyze_program`` with optional splicing."""
+    timings: list[ComponentTiming] = []
+    for component in components:
+        record = resolve(component) if resolve is not None else None
+        if record is not None:
+            _publish(component, record, result, external)
+            timings.append(ComponentTiming(tuple(component), 0.0, "spliced"))
+            continue
+        started = time.perf_counter()
+        analyze_component(
+            component, graph, contexts, procedures, external, result, options
+        )
+        elapsed = time.perf_counter() - started
+        if on_analyzed is not None:
+            on_analyzed(component, _extract(component, result))
+        timings.append(ComponentTiming(tuple(component), elapsed, "serial"))
+    return timings
+
+
+def _publish(
+    component: list[str],
+    record: ComponentRecord,
+    result: AnalysisResult,
+    external: dict[str, TransitionFormula],
+) -> None:
+    """Install a component record exactly as the serial analysis publishes it
+    (recursive summaries instantiate fresh symbols on every use)."""
+    summaries, height_analyses = record
+    for name in component:
+        summary = summaries[name]
+        result.summaries[name] = summary
+        external[name] = (
+            summary.instantiate(None) if summary.is_recursive else summary.transition
+        )
+    result.height_analyses.update(height_analyses)
+
+
+def _extract(component: list[str], result: AnalysisResult) -> ComponentRecord:
+    return (
+        {name: result.summaries[name] for name in component},
+        {
+            name: result.height_analyses[name]
+            for name in component
+            if name in result.height_analyses
+        },
+    )
+
+
+def _component_dag(
+    components: list[list[str]], graph: CallGraph
+) -> tuple[list[set[int]], list[set[int]]]:
+    """Condensation edges as (dependencies, dependents) index sets."""
+    index_of = {
+        name: i for i, component in enumerate(components) for name in component
+    }
+    dependencies: list[set[int]] = [set() for _ in components]
+    dependents: list[set[int]] = [set() for _ in components]
+    for i, component in enumerate(components):
+        for name in component:
+            for callee in graph.callees(name):
+                j = index_of[callee]
+                if j != i:
+                    dependencies[i].add(j)
+                    dependents[j].add(i)
+    return dependencies, dependents
+
+
+def _schedule_forked(
+    program: ast.Program,
+    graph: CallGraph,
+    components: list[list[str]],
+    contexts: Mapping[str, ProcedureContext],
+    procedures: Mapping[str, ast.Procedure],
+    options: ChoraOptions,
+    workers: int,
+    resolve: Optional[Callable[[list[str]], Optional[ComponentRecord]]],
+    on_analyzed: Optional[Callable[[list[str], ComponentRecord], None]],
+    result: AnalysisResult,
+    external: dict[str, TransitionFormula],
+) -> list[ComponentTiming]:
+    dependencies, dependents = _component_dag(components, graph)
+    n = len(components)
+    remaining = [len(d) for d in dependencies]
+    ready = sorted(i for i in range(n) if not remaining[i])
+    modes = [""] * n
+    seconds = [0.0] * n
+    completed = 0
+    launches = 0
+    children: dict[int, _Child] = {}  # read fd -> child
+
+    def finish(index: int, record: ComponentRecord, mode: str, elapsed: float) -> None:
+        nonlocal completed
+        if mode != "inline":  # analyze_component already published inline runs
+            _publish(components[index], record, result, external)
+        if mode in ("inline", "forked") and on_analyzed is not None:
+            on_analyzed(components[index], record)
+        modes[index] = mode
+        seconds[index] = elapsed
+        completed += 1
+        for j in sorted(dependents[index]):
+            remaining[j] -= 1
+            if not remaining[j]:
+                insort(ready, j)
+
+    try:
+        while completed < n:
+            # Splices are instant: resolve every cached ready component
+            # before spending a fork on anything (their completion may
+            # unblock further components, hence the repeat).
+            progressed = True
+            while progressed and resolve is not None:
+                progressed = False
+                for k, index in enumerate(ready):
+                    record = resolve(components[index])
+                    if record is not None:
+                        del ready[k]
+                        finish(index, record, "spliced", 0.0)
+                        progressed = True
+                        break
+            # Launch children for ready components, up to the worker count.
+            while ready and len(children) < workers:
+                if not children and len(ready) == 1:
+                    # A lone ready component with nothing in flight: forking
+                    # buys no overlap, so run it in-process (this also makes
+                    # chain-shaped condensations run fork-free).
+                    index = ready.pop(0)
+                    started = time.perf_counter()
+                    analyze_component(
+                        components[index], graph, contexts, procedures,
+                        external, result, options,
+                    )
+                    elapsed = time.perf_counter() - started
+                    finish(index, _extract(components[index], result), "inline", elapsed)
+                    break  # re-run splice resolution for what this unblocked
+                index = ready.pop(0)
+                child = _fork_component(
+                    program, graph, components[index], index, contexts,
+                    procedures, external, options, launches,
+                )
+                launches += 1
+                children[child.fd] = child
+            if completed >= n:
+                break
+            if not children:
+                if ready:
+                    continue
+                raise _ParallelFallback("scheduler stalled with work remaining")
+            _drain_children(children, finish)
+    except BaseException:
+        _reap_children(children)
+        raise
+    # Rebuild the result dictionaries in serial SCC order so payload key
+    # order never depends on which child finished first.
+    result.summaries = {
+        name: result.summaries[name]
+        for component in components
+        for name in component
+    }
+    result.height_analyses = {
+        name: result.height_analyses[name]
+        for component in components
+        for name in component
+        if name in result.height_analyses
+    }
+    return [
+        ComponentTiming(tuple(components[i]), seconds[i], modes[i]) for i in range(n)
+    ]
+
+
+def _fork_component(
+    program: ast.Program,
+    graph: CallGraph,
+    component: list[str],
+    index: int,
+    contexts: Mapping[str, ProcedureContext],
+    procedures: Mapping[str, ast.Procedure],
+    external: dict[str, TransitionFormula],
+    options: ChoraOptions,
+    launch: int,
+) -> _Child:
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        # ----- child ------------------------------------------------------
+        code = 0
+        try:
+            os.close(read_fd)
+            try:
+                # Claim a fresh-symbol region disjoint from every concurrent
+                # sibling: the counter at fork time covers everything minted
+                # so far, launch numbers are strictly increasing, and each
+                # child mints far fewer than _FRESH_STRIDE symbols — so
+                # launch k's region starts above launch j's highest possible
+                # index for every j < k.
+                advance_fresh_counter(fresh_counter() + (launch + 1) * _FRESH_STRIDE)
+                started = time.perf_counter()
+                record = _child_analyze(
+                    program, graph, component, contexts, procedures, external, options
+                )
+                payload = pickle.dumps(
+                    ("ok", record, fresh_counter(), time.perf_counter() - started),
+                    pickle.HIGHEST_PROTOCOL,
+                )
+            except BaseException:
+                payload = pickle.dumps(
+                    ("error", traceback.format_exc(limit=40)), pickle.HIGHEST_PROTOCOL
+                )
+            _write_all(write_fd, payload)
+            os.close(write_fd)
+        except BaseException:
+            code = 1
+        finally:
+            # _exit: no atexit hooks, no stream flushing — the child must
+            # not run any teardown belonging to the forked-from process.
+            os._exit(code)
+    # ----- parent ---------------------------------------------------------
+    os.close(write_fd)
+    return _Child(pid=pid, fd=read_fd, index=index, buffer=bytearray())
+
+
+def _child_analyze(
+    program: ast.Program,
+    graph: CallGraph,
+    component: list[str],
+    contexts: Mapping[str, ProcedureContext],
+    procedures: Mapping[str, ast.Procedure],
+    external: dict[str, TransitionFormula],
+    options: ChoraOptions,
+) -> ComponentRecord:
+    """Analyse one component in a forked child (module-level for testing)."""
+    local = AnalysisResult(program, {}, dict(contexts), graph)
+    analyze_component(
+        component, graph, contexts, procedures, dict(external), local, options
+    )
+    return _extract(component, local)
+
+
+def _drain_children(
+    children: dict[int, _Child],
+    finish: Callable[[int, ComponentRecord, str, float], None],
+) -> None:
+    """Read from child pipes; on EOF, reap and merge (or trigger fallback)."""
+    readable, _, _ = select.select(list(children), [], [], 1.0)
+    for fd in readable:
+        child = children[fd]
+        try:
+            chunk = os.read(fd, _PIPE_CHUNK)
+        except OSError:
+            chunk = b""
+        if chunk:
+            child.buffer += chunk
+            continue
+        # EOF: the child has exited (or died) — reap it and decode.
+        del children[fd]
+        os.close(fd)
+        try:
+            _, status = os.waitpid(child.pid, 0)
+        except ChildProcessError:
+            status = -1
+        if not child.buffer:
+            raise _ParallelFallback(
+                f"scc worker for component {child.index} exited "
+                f"without a payload (status {status})"
+            )
+        try:
+            payload = pickle.loads(bytes(child.buffer))
+        except Exception as exc:
+            raise _ParallelFallback(
+                f"undecodable scc worker payload for component {child.index}: {exc}"
+            ) from exc
+        if not (isinstance(payload, tuple) and payload and payload[0] == "ok"):
+            detail = payload[1] if isinstance(payload, tuple) and len(payload) > 1 else payload
+            raise _ParallelFallback(
+                f"scc worker for component {child.index} failed:\n{detail}"
+            )
+        _, record, high_water, elapsed = payload
+        # Newly minted parent symbols must land above everything the child
+        # allocated in its reserved region.
+        advance_fresh_counter(high_water)
+        finish(child.index, record, "forked", elapsed)
+
+
+def _reap_children(children: dict[int, _Child]) -> None:
+    """Kill and reap every outstanding child (fallback / error path)."""
+    for child in children.values():
+        try:
+            os.close(child.fd)
+        except OSError:
+            pass
+        try:
+            os.kill(child.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+        try:
+            os.waitpid(child.pid, 0)
+        except ChildProcessError:
+            pass
+    children.clear()
+
+
+def _write_all(fd: int, data: bytes) -> None:
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]

@@ -52,12 +52,17 @@ __all__ = ["WorkerPool", "PoolStats"]
 
 
 def _worker_main(
-    connection, options: ChoraOptions, memo_storage=None, store_storage=None
+    connection,
+    options: ChoraOptions,
+    memo_storage=None,
+    store_storage=None,
+    parallel_sccs: Optional[int] = None,
 ) -> None:
     """Entry point of one warm worker: serve requests until told to stop."""
     import signal
 
     from ..core import IncrementalAnalyzer, IncrementalReport
+    from ..core.parallel import take_schedule_report
     from ..engine.cache import code_fingerprint
     from ..polyhedra.cache import keep_warm, load_snapshot, save_snapshot
 
@@ -72,7 +77,7 @@ def _worker_main(
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
 
-    analyzer = IncrementalAnalyzer()
+    analyzer = IncrementalAnalyzer(parallel_sccs=parallel_sccs)
     previous = set_program_analyzer(analyzer.analyze)
     requests = 0
     loaded = 0
@@ -116,8 +121,9 @@ def _worker_main(
                 requests += 1
                 started = time.perf_counter()
                 # Reset so kinds that never run CHORA (the baselines) don't
-                # report the previous request's splice counts.
+                # report the previous request's splice counts or schedule.
                 analyzer.last_report = IncrementalReport()
+                take_schedule_report()
                 try:
                     payload = execute_task(message, options)
                     meta = {
@@ -125,6 +131,12 @@ def _worker_main(
                         "requests": requests,
                         "incremental": analyzer.last_report.to_dict(),
                     }
+                    schedule = take_schedule_report()
+                    if schedule is not None:
+                        # Per-SCC timing of the DAG-parallel scheduler: meta
+                        # only, never the payload, so cached results stay
+                        # identical between serial and parallel runs.
+                        meta["scc"] = schedule.to_dict()
                     reply = ("ok", payload, meta)
                 except BaseException:
                     meta = {
@@ -173,12 +185,17 @@ class _WarmWorker:
     SHUTDOWN_GRACE = 30.0
 
     def __init__(
-        self, context, options: ChoraOptions, memo_storage=None, store_storage=None
+        self,
+        context,
+        options: ChoraOptions,
+        memo_storage=None,
+        store_storage=None,
+        parallel_sccs: Optional[int] = None,
     ):
         parent_end, child_end = context.Pipe(duplex=True)
         self.process = context.Process(
             target=_worker_main,
-            args=(child_end, options, memo_storage, store_storage),
+            args=(child_end, options, memo_storage, store_storage, parallel_sccs),
             daemon=True,
         )
         self.process.start()
@@ -295,6 +312,13 @@ class PoolStats:
     #: procedures spliced vs re-analysed by the workers' incremental stores.
     procedures_reused: int = 0
     procedures_analyzed: int = 0
+    #: DAG-parallel SCC scheduling inside the workers (meta["scc"]): how many
+    #: components ran in forked children vs inline, summed child wall time,
+    #: and how often the scheduler fell back to the serial pass.
+    scc_components_forked: int = 0
+    scc_components_inline: int = 0
+    scc_seconds: float = 0.0
+    scc_fallbacks: int = 0
     started: float = field(default_factory=time.time)
 
     def to_dict(self) -> dict[str, Any]:
@@ -307,6 +331,10 @@ class PoolStats:
             "restarts": self.restarts,
             "procedures_reused": self.procedures_reused,
             "procedures_analyzed": self.procedures_analyzed,
+            "scc_components_forked": self.scc_components_forked,
+            "scc_components_inline": self.scc_components_inline,
+            "scc_seconds": round(self.scc_seconds, 4),
+            "scc_fallbacks": self.scc_fallbacks,
             "uptime_seconds": round(time.time() - self.started, 1),
         }
 
@@ -343,11 +371,16 @@ class WorkerPool:
         options: ChoraOptions = ChoraOptions(),
         cache: Optional[ResultCache] = None,
         memo_snapshot: Optional[bool] = None,
+        parallel_sccs: Optional[int] = None,
     ):
         self.workers = max(1, int(workers))
         self.timeout = timeout
         self.options = options
         self.cache = cache
+        #: SCC worker count each warm worker analyses cache-miss components
+        #: with (``None``: the REPRO_PARALLEL_SCCS environment / serial).
+        #: Not part of any cache key — parallel results are bit-identical.
+        self.parallel_sccs = parallel_sccs
         # The polyhedral memo snapshot and the incremental summary store
         # live in their own namespaces of the result cache's storage
         # backend: workers load both on start and merge their state back on
@@ -382,6 +415,7 @@ class WorkerPool:
             self.options,
             self.memo_storage,
             self.incremental_storage,
+            self.parallel_sccs,
         )
         self._all.append(worker)
         self._idle.put(worker)
@@ -557,9 +591,23 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     def _absorb_meta(self, meta: dict) -> None:
         incremental = meta.get("incremental") or {}
+        schedule = meta.get("scc") or {}
+        components = schedule.get("components") or ()
         with self._stats_lock:
             self.stats.procedures_reused += len(incremental.get("reused", ()))
             self.stats.procedures_analyzed += len(incremental.get("analyzed", ()))
+            for component in components:
+                mode = component.get("mode")
+                if mode == "forked":
+                    self.stats.scc_components_forked += 1
+                elif mode in ("inline", "serial"):
+                    self.stats.scc_components_inline += 1
+                try:
+                    self.stats.scc_seconds += float(component.get("seconds", 0) or 0)
+                except (TypeError, ValueError):
+                    pass
+            if schedule.get("fallback"):
+                self.stats.scc_fallbacks += 1
 
     @staticmethod
     def _ok_result(

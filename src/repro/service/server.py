@@ -408,6 +408,7 @@ class ServiceMetrics:
         busy = pool.busy_workers()
         responses = dict(self.status_classes)
         responses["total"] = sum(self.status_classes.values())
+        pool_stats = pool.stats_dict()
         return {
             "uptime_seconds": round(time.time() - self.started, 1),
             "queue": {
@@ -419,6 +420,16 @@ class ServiceMetrics:
                 "total": pool.workers,
                 "busy": busy,
                 "utilisation": round(busy / pool.workers, 3) if pool.workers else 0.0,
+            },
+            # Intra-program DAG scheduling inside the workers: per-SCC
+            # timing aggregated from the workers' reply metas (see
+            # docs/architecture.md, "Intra-program parallelism").
+            "parallel_sccs": {
+                "configured": pool.parallel_sccs,
+                "components_forked": pool_stats.get("scc_components_forked", 0),
+                "components_inline": pool_stats.get("scc_components_inline", 0),
+                "component_seconds": pool_stats.get("scc_seconds", 0.0),
+                "fallbacks": pool_stats.get("scc_fallbacks", 0),
             },
             "responses": responses,
             "rejected_429": self.rejected_429,
@@ -1003,6 +1014,7 @@ def serve(
     cache: Optional[ResultCache] = None,
     verbose: bool = False,
     backlog: int = DEFAULT_BACKLOG,
+    parallel_sccs: Optional[int] = None,
 ) -> AnalysisServer:
     """Build a ready-to-run server (the CLI calls ``serve_forever`` on it).
 
@@ -1012,7 +1024,12 @@ def serve(
     """
     sock = socket.create_server((host, port))
     try:
-        pool = WorkerPool(workers=workers, timeout=timeout, cache=cache)
+        pool = WorkerPool(
+            workers=workers,
+            timeout=timeout,
+            cache=cache,
+            parallel_sccs=parallel_sccs,
+        )
     except BaseException:
         sock.close()
         raise

@@ -1,0 +1,182 @@
+"""DAG-parallel determinism: parallel SCC scheduling is bit-identical to serial.
+
+The scheduler's contract (see :mod:`repro.core.parallel`) is that the worker
+count is *not* an analysis parameter: verdicts, bounds and rendered tables of
+any program must be byte-for-byte the ones a serial run produces, at any
+worker count, including through the incremental splice path.  This suite pins
+that on the committed corpora:
+
+* the benchmark suites (``table1`` / ``fig3`` / ``table2``), compared as the
+  exact task payloads the engine caches and as the rendered report tables;
+* every minimized fuzz reproducer in ``tests/regression/fuzz`` — programs
+  selected adversarially, not for tidiness;
+* a repeated run through :class:`~repro.core.incremental.IncrementalAnalyzer`
+  with parallel workers, where cached components splice mid-schedule.
+
+Worker counts 2 and 8 bracket the interesting regimes (fewer ready components
+than workers, and more).  Payload ``summaries`` texts are excluded from the
+comparison: like two serial runs of different request histories, parallel
+runs may number fresh auxiliary symbols differently, which is exactly why no
+verdict, bound or table may ever depend on the numbering.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import ChoraOptions
+from repro.core import parallel as par
+from repro.core.incremental import IncrementalAnalyzer
+from repro.engine import AnalysisTask
+from repro.engine.batch import BatchResult
+from repro.engine.tasks import execute_task, set_program_analyzer
+from repro.benchlib.suites import iter_suite
+from repro.reporting.tables import render_table1, render_table2
+
+def _parseable(path: Path) -> bool:
+    """Reproducers pinned at parse time (e.g. the arity mismatch) never
+    reach the scheduler — there is nothing to parallelise."""
+    from repro.lang import parse_program
+    from repro.lang.parser import ParseError
+
+    try:
+        parse_program(path.read_text())
+    except ParseError:
+        return False
+    return True
+
+
+FUZZ_CORPUS = [
+    path
+    for path in sorted(
+        (Path(__file__).parent.parent / "regression" / "fuzz").glob("*.c")
+    )
+    if _parseable(path)
+]
+
+WORKER_COUNTS = (2, 8)
+
+needs_fork = pytest.mark.skipif(
+    not par.fork_available(), reason="os.fork not available"
+)
+
+pytestmark = needs_fork
+
+
+@pytest.fixture
+def scc_workers(monkeypatch):
+    """Run the body under a pinned worker count, restoring serial after."""
+    monkeypatch.delenv(par.PARALLEL_SCCS_ENV, raising=False)
+    previous = par.set_parallel_sccs(None)
+
+    def pin(workers):
+        par.set_parallel_sccs(workers)
+
+    yield pin
+    par.set_parallel_sccs(previous)
+
+
+def _comparable(payload: dict) -> dict:
+    """The payload minus the symbol-numbering-sensitive summary texts."""
+    return {key: value for key, value in payload.items() if key != "summaries"}
+
+
+def _run(task: AnalysisTask, workers: int | None, pin) -> dict:
+    pin(workers if workers is not None else 0)
+    try:
+        return execute_task(task, ChoraOptions())
+    finally:
+        pin(0)
+
+
+def _suite_results(suite: str, workers, pin, full: bool = False):
+    results = []
+    for entry in iter_suite(suite, full):
+        task = AnalysisTask.from_entry(entry, suite=suite)
+        payload = _run(task, workers, pin)
+        results.append(
+            BatchResult(
+                name=task.name,
+                kind=task.kind,
+                outcome="ok",
+                wall_time=0.0,
+                suite=suite,
+                proved=payload.get("proved"),
+                bound=payload.get("bound"),
+                payload=payload,
+            )
+        )
+    return results
+
+
+class TestFuzzCorpusDeterminism:
+    @pytest.mark.parametrize(
+        "path", FUZZ_CORPUS, ids=[path.stem for path in FUZZ_CORPUS]
+    )
+    def test_corpus_program_payloads_match_serial(self, path, scc_workers):
+        task = AnalysisTask(name=path.stem, source=path.read_text(), kind="analyze")
+        serial = _run(task, None, scc_workers)
+        for workers in WORKER_COUNTS:
+            parallel = _run(task, workers, scc_workers)
+            assert _comparable(parallel) == _comparable(serial), (
+                f"{path.stem} diverged at {workers} workers"
+            )
+            # Summary *keys* (names and their order) must still match even
+            # though the formula texts may number symbols differently.
+            assert list(parallel.get("summaries", {})) == list(
+                serial.get("summaries", {})
+            )
+
+
+class TestSuiteDeterminism:
+    def test_table2_payloads_and_rendered_table(self, scc_workers):
+        serial = _suite_results("table2", None, scc_workers)
+        serial_table = render_table2(serial)
+        for workers in WORKER_COUNTS:
+            results = _suite_results("table2", workers, scc_workers)
+            assert [r.payload for r in results] == [r.payload for r in serial]
+            assert render_table2(results) == serial_table
+
+    @pytest.mark.slow
+    def test_table1_and_fig3_sweep(self, scc_workers):
+        """The full fast-tier suite sweep at worker counts 1 / 2 / 8."""
+        for suite, render in (("table1", render_table1), ("fig3", None)):
+            serial = _suite_results(suite, None, scc_workers)
+            for workers in (1,) + WORKER_COUNTS:
+                results = _suite_results(suite, workers, scc_workers)
+                assert [r.payload for r in results] == [
+                    r.payload for r in serial
+                ], f"{suite} diverged at {workers} workers"
+                if render is not None:
+                    assert render(results) == render(serial)
+
+
+class TestIncrementalSpliceDeterminism:
+    def test_corpus_through_parallel_incremental_analyzer(self, scc_workers):
+        """A warm store must splice mid-schedule without changing verdicts:
+        second runs answer every component from cache, first runs fork."""
+        serial_payloads = {}
+        for path in FUZZ_CORPUS:
+            task = AnalysisTask(
+                name=path.stem, source=path.read_text(), kind="analyze"
+            )
+            serial_payloads[path.stem] = _comparable(_run(task, None, scc_workers))
+
+        analyzer = IncrementalAnalyzer(parallel_sccs=2)
+        previous = set_program_analyzer(analyzer.analyze)
+        try:
+            for repeat in range(2):
+                for path in FUZZ_CORPUS:
+                    task = AnalysisTask(
+                        name=path.stem, source=path.read_text(), kind="analyze"
+                    )
+                    payload = execute_task(task, ChoraOptions())
+                    assert _comparable(payload) == serial_payloads[path.stem], (
+                        f"{path.stem} diverged on incremental run {repeat}"
+                    )
+                # Second pass over an unchanged program: nothing re-analysed.
+                if repeat == 1:
+                    assert analyzer.last_report.analyzed == ()
+                    assert analyzer.last_report.reused
+        finally:
+            set_program_analyzer(previous)

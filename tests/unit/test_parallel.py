@@ -1,0 +1,275 @@
+"""Unit tests for the DAG-parallel SCC scheduler (:mod:`repro.core.parallel`).
+
+The determinism *contract* (parallel verdicts == serial verdicts on whole
+benchmark suites) is pinned by ``tests/integration/test_determinism.py``;
+this module tests the machinery itself: the condensation DAG, the schedule
+report, configuration resolution, the serial fallback on child failure, and
+the incremental analyzer's splice-through-the-scheduler path.
+"""
+
+import pytest
+
+from repro.core import (
+    ChoraOptions,
+    analyze_program,
+    analyze_program_parallel,
+    check_assertions,
+    configured_parallel_sccs,
+    cost_bound,
+    last_schedule_report,
+    set_parallel_sccs,
+)
+from repro.core import parallel as par
+from repro.core.incremental import IncrementalAnalyzer
+from repro.lang import parse_program
+from repro.lang.callgraph import build_call_graph
+
+#: Three independent recursive leaves under one root: the condensation is a
+#: wide DAG (f1 | f2 | f3) -> main, so three components can run concurrently.
+WIDE = """
+int cost = 0;
+
+int f1(int n) {
+    cost = cost + 1;
+    if (n <= 0) { return 0; }
+    int r = f1(n - 1);
+    return r + 1;
+}
+
+int f2(int n) {
+    cost = cost + 2;
+    if (n <= 0) { return 0; }
+    int r = f2(n - 1);
+    return r;
+}
+
+int f3(int n) {
+    cost = cost + 1;
+    if (n <= 0) { return 0; }
+    int r = f3(n - 2);
+    return r;
+}
+
+int main(int n) {
+    cost = cost + 1;
+    if (n <= 0) { return 0; }
+    f1(n);
+    f2(n);
+    f3(n);
+    assert(cost >= 1);
+    return cost;
+}
+"""
+
+#: A pure chain: the condensation has no parallelism at all, so the
+#: scheduler must degenerate to fork-free inline execution.
+CHAIN = """
+int cost = 0;
+
+int leaf(int n) {
+    cost = cost + 1;
+    if (n <= 0) { return 0; }
+    int r = leaf(n - 1);
+    return r;
+}
+
+int mid(int n) {
+    cost = cost + 1;
+    leaf(n);
+    return 0;
+}
+
+int main(int n) {
+    cost = cost + 1;
+    mid(n);
+    assert(cost >= 1);
+    return cost;
+}
+"""
+
+
+@pytest.fixture
+def clean_config(monkeypatch):
+    """Isolate the process-wide worker configuration."""
+    monkeypatch.delenv(par.PARALLEL_SCCS_ENV, raising=False)
+    previous = set_parallel_sccs(None)
+    yield
+    set_parallel_sccs(previous)
+
+
+def _verdicts(result, options=ChoraOptions()):
+    """The observable output: assertion verdicts + the main cost bound."""
+    outcomes = tuple(
+        (o.site.procedure, o.site.text, o.proved)
+        for o in check_assertions(result, options.abstraction)
+    )
+    bound = cost_bound(result, "main", "cost")
+    return outcomes, (bound.asymptotic, bound.found)
+
+
+needs_fork = pytest.mark.skipif(
+    not par.fork_available(), reason="os.fork not available"
+)
+
+
+class TestComponentDag:
+    def test_wide_condensation_edges(self):
+        program = parse_program(WIDE)
+        graph = build_call_graph(program)
+        components = graph.strongly_connected_components()
+        dependencies, dependents = par._component_dag(components, graph)
+        index_of = {name: i for i, c in enumerate(components) for name in c}
+        root = index_of["main"]
+        leaves = {index_of["f1"], index_of["f2"], index_of["f3"]}
+        assert dependencies[root] == leaves
+        for leaf in leaves:
+            assert dependencies[leaf] == set()
+            assert dependents[leaf] == {root}
+        # Dependency-first component order: every leaf precedes the root.
+        assert all(leaf < root for leaf in leaves)
+
+
+@needs_fork
+class TestParallelMatchesSerial:
+    def test_wide_program_verdicts_and_bound(self, clean_config):
+        program = parse_program(WIDE)
+        serial = _verdicts(analyze_program(program))
+        parallel = _verdicts(analyze_program_parallel(program, workers=3))
+        assert parallel == serial
+
+    def test_summary_names_and_recursion_flags(self, clean_config):
+        program = parse_program(WIDE)
+        serial = analyze_program(program)
+        parallel = analyze_program_parallel(program, workers=3)
+        # Key *order* matters: payloads render dicts in iteration order.
+        assert list(parallel.summaries) == list(serial.summaries)
+        assert {n: s.is_recursive for n, s in parallel.summaries.items()} == {
+            n: s.is_recursive for n, s in serial.summaries.items()
+        }
+        assert list(parallel.height_analyses) == list(serial.height_analyses)
+
+    def test_schedule_report_shape(self, clean_config):
+        program = parse_program(WIDE)
+        analyze_program_parallel(program, workers=3)
+        report = last_schedule_report()
+        assert report is not None
+        assert report.workers == 3
+        assert not report.fallback
+        by_names = {t.names: t.mode for t in report.timings}
+        # The three leaves are ready together -> forked; the root becomes
+        # ready alone with nothing in flight -> inline.
+        assert by_names[("f1",)] == "forked"
+        assert by_names[("f2",)] == "forked"
+        assert by_names[("f3",)] == "forked"
+        assert by_names[("main",)] == "inline"
+
+    def test_chain_runs_fork_free(self, clean_config):
+        program = parse_program(CHAIN)
+        serial = _verdicts(analyze_program(program))
+        assert _verdicts(analyze_program_parallel(program, workers=4)) == serial
+        report = last_schedule_report()
+        assert report.forked_components == 0
+        assert [t.mode for t in report.timings] == ["inline"] * 3
+
+    def test_take_schedule_report_pops(self, clean_config):
+        analyze_program_parallel(parse_program(CHAIN), workers=2)
+        assert par.take_schedule_report() is not None
+        assert par.take_schedule_report() is None
+        assert last_schedule_report() is None
+
+    def test_workers_one_is_plain_serial(self, clean_config):
+        program = parse_program(WIDE)
+        serial = _verdicts(analyze_program(program))
+        assert _verdicts(analyze_program_parallel(program, workers=1)) == serial
+        report = last_schedule_report()
+        assert [t.mode for t in report.timings] == ["serial"] * 4
+
+
+@needs_fork
+class TestFallback:
+    def test_child_failure_falls_back_to_serial(self, clean_config, monkeypatch):
+        """Any child failure discards parallel state and re-runs serially —
+        the answer must still be the serial answer, flagged as a fallback."""
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected scc worker failure")
+
+        monkeypatch.setattr(par, "_child_analyze", explode)
+        program = parse_program(WIDE)
+        serial = _verdicts(analyze_program(program))
+        assert _verdicts(analyze_program_parallel(program, workers=3)) == serial
+        report = last_schedule_report()
+        assert report.fallback
+        assert [t.mode for t in report.timings] == ["serial"] * 4
+
+    def test_child_death_without_payload_falls_back(self, clean_config, monkeypatch):
+        import os
+
+        def die(*args, **kwargs):
+            os._exit(1)
+
+        monkeypatch.setattr(par, "_child_analyze", die)
+        program = parse_program(WIDE)
+        serial = _verdicts(analyze_program(program))
+        assert _verdicts(analyze_program_parallel(program, workers=2)) == serial
+        assert last_schedule_report().fallback
+
+
+class TestConfiguration:
+    def test_resolve_worker_request(self):
+        assert par.resolve_worker_request(None) >= 1
+        assert par.resolve_worker_request("auto") >= 1
+        assert par.resolve_worker_request(4) == 4
+        assert par.resolve_worker_request("8") == 8
+        with pytest.raises(ValueError):
+            par.resolve_worker_request(-1)
+
+    def test_override_beats_environment(self, clean_config, monkeypatch):
+        monkeypatch.setenv(par.PARALLEL_SCCS_ENV, "7")
+        assert configured_parallel_sccs() == 7
+        set_parallel_sccs(2)
+        assert configured_parallel_sccs() == 2
+        set_parallel_sccs(None)
+        assert configured_parallel_sccs() == 7
+
+    def test_environment_auto_and_garbage(self, clean_config, monkeypatch):
+        monkeypatch.setenv(par.PARALLEL_SCCS_ENV, "auto")
+        assert configured_parallel_sccs() >= 1
+        monkeypatch.setenv(par.PARALLEL_SCCS_ENV, "three")
+        assert configured_parallel_sccs() == 0
+        monkeypatch.delenv(par.PARALLEL_SCCS_ENV)
+        assert configured_parallel_sccs() == 0
+
+
+@needs_fork
+class TestIncrementalParallel:
+    def test_cold_then_spliced(self, clean_config):
+        analyzer = IncrementalAnalyzer(parallel_sccs=3)
+        program = parse_program(WIDE)
+        serial = _verdicts(analyze_program(program))
+        first = _verdicts(analyzer.analyze(program))
+        assert first == serial
+        assert sorted(analyzer.last_report.analyzed) == ["f1", "f2", "f3", "main"]
+        assert analyzer.last_report.reused == ()
+        # The repeat run must answer every component from the store — the
+        # splice path runs *through* the scheduler without forking.
+        second = _verdicts(analyzer.analyze(program))
+        assert second == serial
+        assert analyzer.last_report.analyzed == ()
+        assert sorted(analyzer.last_report.reused) == ["f1", "f2", "f3", "main"]
+        report = last_schedule_report()
+        assert report is not None
+        assert report.forked_components == 0
+        assert {t.mode for t in report.timings} == {"spliced"}
+
+    def test_store_records_shared_with_serial_analyzer(self, clean_config):
+        """Parallel and serial runs key the store identically, so a store
+        warmed in parallel answers a serial analyzer's request (and vice
+        versa would hold too — the key is mode-independent)."""
+        program = parse_program(WIDE)
+        warm = IncrementalAnalyzer(parallel_sccs=3)
+        warm.analyze(program)
+        warm.parallel_sccs = 0  # flip the same instance to the serial path
+        warm.analyze(program)
+        assert warm.last_report.analyzed == ()
+        assert sorted(warm.last_report.reused) == ["f1", "f2", "f3", "main"]
