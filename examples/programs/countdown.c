@@ -1,0 +1,20 @@
+// A simple loop: the guard variable strictly decreases, so the
+// nondet-free-infinite-loop pass (R104) stays quiet.
+int cost = 0;
+
+int countdown(int n) {
+    int steps = 0;
+    while (n > 0) {
+        cost = cost + 1;
+        steps = steps + 1;
+        n = n - 1;
+    }
+    return steps;
+}
+
+int main(int n) {
+    assume(n >= 0);
+    int total = countdown(n);
+    assert(total >= 0);
+    return total;
+}

@@ -1,0 +1,17 @@
+// Logarithmic recursion through a constant divisor.  Division is only
+// supported with a positive constant divisor; `n / 2` is the idiomatic
+// halving recursion and counts as progress for the R103 pass.
+int cost = 0;
+
+int halving(int n) {
+    cost = cost + 1;
+    if (n <= 1) {
+        return 0;
+    }
+    return 1 + halving(n / 2);
+}
+
+int main(int n) {
+    assume(n >= 1);
+    return halving(n);
+}

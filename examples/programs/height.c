@@ -1,0 +1,20 @@
+// Linear recursion: cost and recursion depth are both O(n).
+// A minimal program in the analyzed language, kept lint-clean
+// (`repro lint examples/programs/height.c` reports nothing).
+int cost = 0;
+
+int height(int n) {
+    cost = cost + 1;
+    if (n <= 1) {
+        return 1;
+    }
+    int left = height(n - 1);
+    return left + 1;
+}
+
+int main(int n) {
+    assume(n > 0);
+    int h = height(n);
+    assert(h >= 1);
+    return h;
+}

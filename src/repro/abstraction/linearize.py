@@ -25,12 +25,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable, Mapping, Sequence
 
 from ..formulas.formula import Atom, AtomKind
 from ..formulas.polynomial import Monomial, Polynomial
 from ..formulas.symbols import Symbol, fresh
-from ..polyhedra import ConstraintKind, LinearConstraint, Polyhedron, lp
+from ..polyhedra import ConstraintKind, LinearConstraint, Polyhedron
 
 __all__ = ["LinearizationContext", "inference_constraints"]
 

@@ -15,20 +15,14 @@ joined with the polyhedral join.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from fractions import Fraction
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..formulas.dnf import DEFAULT_CUBE_LIMIT, Cube, to_dnf
 from ..formulas.formula import Atom, AtomKind, Formula, conjoin, negate
 from ..formulas.polynomial import Polynomial
 from ..formulas.symbols import Symbol
-from ..polyhedra import (
-    ConstraintKind,
-    LinearConstraint,
-    Polyhedron,
-    convex_hull,
-)
+from ..polyhedra import ConstraintKind, Polyhedron, convex_hull
 from ..polyhedra.cache import register_cache
 from ..polyhedra.hull import weak_join
 from .linearize import LinearizationContext, inference_constraints

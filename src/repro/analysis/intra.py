@@ -16,8 +16,8 @@ built on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
 
 from ..abstraction import AbstractionOptions
 from ..formulas import (
@@ -31,7 +31,7 @@ from ..formulas import (
     pre,
 )
 from ..lang import ast
-from ..lang.cfg import CallEdge, ControlFlowGraph, WeightEdge, build_cfg
+from ..lang.cfg import CallEdge, ControlFlowGraph, build_cfg
 from ..lang.semantics import translate_expression
 from .loop_summary import summarize_loop
 

@@ -22,9 +22,7 @@ This baseline reproduces that behaviour:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-from ..abstraction import AbstractionOptions, abstract
 from ..analysis import ProcedureContext, summarize_procedure
 from ..formulas import TransitionFormula
 from ..lang import ast

@@ -13,7 +13,6 @@ the program's assertions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from ..abstraction import AbstractionOptions
 from ..analysis import ProcedureContext, summarize_procedure

@@ -16,7 +16,7 @@ so the cost structure the analysis sees is unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Mapping
 
 __all__ = ["ComplexityBenchmark", "TABLE1_BENCHMARKS", "benchmark_by_name"]
 

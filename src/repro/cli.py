@@ -3,11 +3,13 @@
 ::
 
     repro analyze FILE [--procedure P] [--cost-variable V] [--sub k=v ...]
-                [--parallel-sccs [N]]
+                [--parallel-sccs [N]] [--lint]
     repro bench --suite table1|fig3|table2|all [--tool chora|icra|unrolling]
                 [--depth N] [--jobs N] [--full] [--json]
                 [--engine pool|warm] [--shard I/N] [--memo-snapshot]
-                [--parallel-sccs [N]]
+                [--parallel-sccs [N]] [--lint]
+    repro lint FILE ... [--severity error|warning|info] [--disable CODES]
+               [--json]
     repro batch --url URL (--suite NAME | --tasks FILE) [--deadline-ms MS]
                 [--json]
     repro serve [--host H] [--port P] [--workers N] [--timeout S]
@@ -40,6 +42,12 @@ program source and returns the same JSON records as ``repro analyze
 --json`` and whose ``POST /v1/batch`` runs whole suites; ``batch`` is
 the matching client — it sends a suite (or an inline task list) to a
 remote service and renders the records exactly like ``repro bench``.
+``lint`` runs the semantic diagnostics passes (see ``docs/linting.md``)
+over program files without analysing them: exit status 1 when any
+error-severity diagnostic fires, 0 otherwise; ``analyze`` and ``bench``
+accept ``--lint`` to reject invalid programs (error diagnostics) before
+spending analysis time on them — on lint-clean programs a gated run is
+bit-identical to an ungated one.
 ``loadtest`` drives open-loop load at a running service and records the
 throughput/latency curve into ``benchmarks/perf/BENCH_service.json``.
 ``profile`` records cold suite
@@ -85,6 +93,7 @@ from .engine import (
     summarize_batch,
 )
 from .engine.config import DEFAULT_SERVICE_PORT
+from .lint import SEVERITIES as _LINT_SEVERITIES
 from .reporting import format_table
 
 __all__ = ["main", "build_parser"]
@@ -116,7 +125,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME=INT",
         help="substitute a parameter in the bound (repeatable)",
     )
+    _lint_gate_argument(analyze)
     _engine_arguments(analyze, jobs=False)
+
+    lint = commands.add_parser(
+        "lint", help="run the semantic diagnostics passes over program files"
+    )
+    lint.add_argument(
+        "files", type=Path, nargs="+", metavar="FILE", help="program sources to lint"
+    )
+    lint.add_argument(
+        "--severity",
+        choices=list(_LINT_SEVERITIES),
+        default=_LINT_SEVERITIES[-1],
+        help="report only diagnostics at least this severe (default: all)",
+    )
+    lint.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="comma-separated diagnostic codes to suppress (repeatable),"
+        " e.g. --disable R003,R101",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
 
     bench = commands.add_parser(
         "bench", help="run one of the paper's benchmark suites through the engine"
@@ -160,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the i-th of n deterministic suite slices and merge the"
         " other shards' results from the shared result cache",
     )
+    _lint_gate_argument(bench)
     _engine_arguments(bench, jobs=True)
 
     serve = commands.add_parser(
@@ -512,6 +547,32 @@ def _engine_arguments(
         )
 
 
+def _lint_gate_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="lint each program first and reject those with error-severity"
+        " diagnostics (structured task errors, never crashes); lint-clean"
+        " programs analyse bit-identically to a run without --lint",
+    )
+
+
+def _apply_lint_gate(arguments: argparse.Namespace) -> None:
+    """Install ``--lint`` process-wide so forked and spawned workers see it.
+
+    An environment variable for the same reason ``--parallel-sccs`` uses
+    one: it must reach worker processes without entering task cache keys.
+    ``main`` restores the variable on exit so in-process callers (tests,
+    embedding) do not gate every later run.
+    """
+    if getattr(arguments, "lint", False):
+        import os
+
+        from .engine.tasks import LINT_GATE_ENV
+
+        os.environ[LINT_GATE_ENV] = "1"
+
+
 def _parallel_sccs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--parallel-sccs",
@@ -582,10 +643,22 @@ def _make_engine(arguments: argparse.Namespace) -> BatchEngine:
 # ---------------------------------------------------------------------- #
 def _command_analyze(arguments: argparse.Namespace) -> int:
     _apply_parallel_sccs(arguments)
+    _apply_lint_gate(arguments)
     try:
         source = arguments.file.read_text(encoding="utf-8")
     except OSError as error:
         print(f"repro: cannot read {arguments.file}: {error}", file=sys.stderr)
+        return 2
+    # A malformed program is the user's typo, not an analysis failure:
+    # report the conventional one-line file:line diagnostic and exit 2
+    # before spending engine time on it.
+    from .lang import ParseError, parse_program
+    from .lint import parse_failure_diagnostic
+
+    try:
+        parse_program(source)
+    except ParseError as error:
+        print(parse_failure_diagnostic(error).render(str(arguments.file)), file=sys.stderr)
         return 2
     substitutions = []
     for item in arguments.sub:
@@ -614,7 +687,9 @@ def _command_analyze(arguments: argparse.Namespace) -> int:
         lines = [line for line in result.detail.splitlines() if line.strip()]
         detail = lines[-1] if lines else result.detail
         print(f"{result.outcome}: {detail}", file=sys.stderr)
-        return 1
+        # Front-end rejections (unsupported constructs, --lint errors) are
+        # usage errors like a parse failure, not analysis failures.
+        return 2 if result.detail.startswith("invalid-program:") else 1
     payload = result.payload
     for name, text in payload.get("summaries", {}).items():
         print(f"=== {name} ===")
@@ -634,6 +709,7 @@ def _command_analyze(arguments: argparse.Namespace) -> int:
 
 def _command_bench(arguments: argparse.Namespace) -> int:
     parallel_sccs = _apply_parallel_sccs(arguments)
+    _apply_lint_gate(arguments)
     full = arguments.full or full_bench_enabled()
     try:
         tasks = suite_tasks(
@@ -1290,6 +1366,55 @@ def _command_fuzz(arguments: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _command_lint(arguments: argparse.Namespace) -> int:
+    """Lint program files; exit 1 on error diagnostics, 0 otherwise."""
+    from .lint import filter_diagnostics, has_errors, lint_source
+
+    disabled = [
+        code for item in arguments.disable for code in item.split(",") if code
+    ]
+    any_errors = False
+    total = 0
+    documents: list[dict] = []
+    for path in arguments.files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            print(f"repro lint: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        diagnostics = filter_diagnostics(
+            lint_source(source), arguments.severity, disabled
+        )
+        any_errors = any_errors or has_errors(diagnostics)
+        total += len(diagnostics)
+        if arguments.json:
+            documents.append(
+                {
+                    "file": str(path),
+                    "ok": not has_errors(diagnostics),
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                }
+            )
+        else:
+            for diagnostic in diagnostics:
+                print(diagnostic.render(str(path)))
+    if arguments.json:
+        print(
+            json.dumps(
+                {"ok": not any_errors, "files": documents},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        files = len(arguments.files)
+        print(
+            f"{files} file{'s' if files != 1 else ''} linted,"
+            f" {total} diagnostic{'s' if total != 1 else ''}"
+        )
+    return 1 if any_errors else 0
+
+
 def _command_suites(arguments: argparse.Namespace) -> int:
     rows = []
     for suite in SUITES.values():
@@ -1340,6 +1465,7 @@ def _command_cache(arguments: argparse.Namespace) -> int:
 _COMMANDS = {
     "analyze": _command_analyze,
     "bench": _command_bench,
+    "lint": _command_lint,
     "batch": _command_batch,
     "serve": _command_serve,
     "loadtest": _command_loadtest,
@@ -1351,12 +1477,23 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    import os
+
+    from .engine.tasks import LINT_GATE_ENV
+
     arguments = build_parser().parse_args(argv)
+    saved_gate = os.environ.get(LINT_GATE_ENV)
     try:
         return _COMMANDS[arguments.command](arguments)
     except BrokenPipeError:
         # Output piped into e.g. ``head``; not an analysis failure.
         return 0
+    finally:
+        if os.environ.get(LINT_GATE_ENV) != saved_gate:
+            if saved_gate is None:
+                os.environ.pop(LINT_GATE_ENV, None)
+            else:
+                os.environ[LINT_GATE_ENV] = saved_gate
 
 
 if __name__ == "__main__":  # pragma: no cover

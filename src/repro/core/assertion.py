@@ -27,18 +27,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Mapping, Optional
+from typing import Optional
 
 from ..abstraction import AbstractionOptions, abstract_cubes
 from ..analysis import inline_call, path_summary
-from ..formulas import (
-    Formula,
-    Polynomial,
-    TransitionFormula,
-    conjoin,
-    post,
-    pre,
-)
+from ..formulas import Formula, TransitionFormula, conjoin, post, pre
 from ..lang import ast
 from ..lang.cfg import AssertionSite, CallEdge
 from ..lang.semantics import translate_condition

@@ -14,7 +14,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping
 
 from ..abstraction import AbstractionOptions
 from ..analysis import ProcedureContext, summarize_procedure
@@ -26,7 +26,7 @@ from .depth_bound import compute_depth_bound
 from .height_analysis import HeightAnalysis, run_height_analysis
 from .missing_base import transform_missing_base_cases
 from .stratify import build_stratified_system
-from .summaries import BoundedTerm, DepthBound, ProcedureSummary
+from .summaries import BoundedTerm, ProcedureSummary
 from .two_region import run_two_region_analysis
 
 __all__ = [

@@ -20,7 +20,7 @@ from typing import Mapping, Optional
 
 import sympy
 
-from ..formulas import RETURN_VARIABLE, Polynomial, post, pre
+from ..formulas import RETURN_VARIABLE, post, pre
 from .chora import AnalysisResult
 from .summaries import BoundedTerm, ProcedureSummary
 

@@ -52,7 +52,6 @@ from ..formulas import (
 from ..lang import ast
 from ..lang.cfg import CallEdge, ControlFlowGraph, WeightEdge
 from ..lang.semantics import translate_expression
-from ..polyhedra import LinearConstraint
 from ..polyhedra.simplex import exact_maximize
 from .summaries import DEPTH_SYMBOL, DepthBound
 

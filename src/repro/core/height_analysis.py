@@ -22,7 +22,7 @@ functions used in the procedure summaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Sequence
 
 from ..abstraction import AbstractionOptions, Inequation, abstract, abstract_many
 from ..analysis import ProcedureContext, summarize_procedure

@@ -17,8 +17,6 @@ them.  This module implements the transformation at the AST level.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
 
 from ..lang import ast
 from ..lang.callgraph import build_call_graph

@@ -27,7 +27,6 @@ from typing import Mapping
 
 from ..abstraction import AbstractionOptions, abstract
 from ..analysis import ProcedureContext, inline_call, path_summary
-from ..analysis.intra import CallInterpretation
 from ..formulas import (
     RETURN_VARIABLE,
     Formula,

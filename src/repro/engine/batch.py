@@ -25,7 +25,7 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..core import ChoraOptions
 from .cache import ResultCache
-from .tasks import AnalysisTask, execute_task
+from .tasks import AnalysisTask, InvalidProgram, execute_task
 
 __all__ = ["BatchEngine", "BatchResult", "summarize_batch"]
 
@@ -153,6 +153,11 @@ def _worker(
     def run() -> tuple:
         try:
             return ("ok", execute_task(task, options))
+        except InvalidProgram as error:
+            # A front-end rejection is a structured outcome, not a bug: the
+            # one-line detail (no traceback) is what the CLI prints verbatim
+            # and what the service maps to a 400 answer.
+            return ("error", f"invalid-program: {error}")
         except BaseException:
             return ("error", traceback.format_exc(limit=20))
 

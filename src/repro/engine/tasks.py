@@ -20,8 +20,9 @@ surfaced as result columns when present.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Optional, TYPE_CHECKING
+from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from ..baselines import analyze_program_icra, check_assertions_by_unrolling
 from ..core import (
@@ -33,19 +34,44 @@ from ..core import (
     configured_parallel_sccs,
     cost_bound,
 )
-from ..lang import parse_program
+from ..lang import ParseError, SemanticsError, parse_program
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..benchlib.suites import SuiteEntry
 
 __all__ = [
     "AnalysisTask",
+    "InvalidProgram",
     "KindRunner",
+    "LINT_GATE_ENV",
     "execute_task",
+    "lint_gate_enabled",
     "register_kind",
     "registered_kinds",
     "set_program_analyzer",
 ]
+
+#: When set (to anything but ``""``/``"0"``), :func:`execute_task` lints each
+#: program before analysing it and rejects programs with error-severity
+#: diagnostics.  An environment variable — not an options field — so the
+#: setting reaches forked and spawned batch workers without ever entering
+#: task cache keys or analysis fingerprints: on lint-clean programs a gated
+#: run is bit-identical to an ungated one.
+LINT_GATE_ENV = "REPRO_LINT_GATE"
+
+
+class InvalidProgram(Exception):
+    """The front end rejects a task's program (parse error, unsupported
+    construct, or — with the lint gate on — error-severity diagnostics).
+
+    A structured, one-line task outcome: batch workers report it as an
+    ``error`` result with an ``invalid-program:`` detail instead of a
+    traceback, the CLI maps it to exit 2, and the service answers 400.
+    """
+
+
+def lint_gate_enabled() -> bool:
+    return os.environ.get(LINT_GATE_ENV, "") not in ("", "0")
 
 
 @dataclass(frozen=True)
@@ -169,8 +195,38 @@ def execute_task(task: AnalysisTask, options: ChoraOptions = ChoraOptions()) -> 
     # Start from cold memo tables so a task's result is independent of what
     # ran before it in this process — the same guarantee forked batch
     # workers get — and so long batches cannot accumulate unbounded tables.
+    # The gate runs first so clear_caches() then wipes any satisfiability
+    # answers lint cached: the analysis proper starts cold either way and
+    # its verdicts are bit-identical with or without the gate.
+    _apply_lint_gate(task)
     clear_caches()
-    return runner(task, options)
+    try:
+        return runner(task, options)
+    except ParseError as error:
+        raise InvalidProgram(f"parse error: {error}") from error
+    except SemanticsError as error:
+        raise InvalidProgram(f"unsupported construct: {error}") from error
+
+
+def _apply_lint_gate(task: AnalysisTask) -> None:
+    """Reject ``task`` when the lint gate is on and its program has errors.
+
+    The fuzz kind is exempt: its oracle runs the lint cross-check itself and
+    must see the program regardless.
+    """
+    if not lint_gate_enabled() or task.kind == "fuzz":
+        return
+    from ..formulas.symbols import preserved_fresh_counter
+    from ..lint import lint_source
+
+    # Lint translates conditions to formulas only to ask satisfiability
+    # questions; restoring the fresh-symbol counter keeps the analysis's
+    # own symbol numbering identical to a run without the gate.
+    with preserved_fresh_counter():
+        errors = [d for d in lint_source(task.source) if d.severity == "error"]
+    if errors:
+        rendered = "; ".join(d.render() for d in errors)
+        raise InvalidProgram(f"lint: {rendered}")
 
 
 # ---------------------------------------------------------------------- #

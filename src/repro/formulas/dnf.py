@@ -15,8 +15,8 @@ sound over-approximation for the convex-hull client).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from .formula import (
     And,

@@ -17,13 +17,11 @@ edges used by the intraprocedural analysis (`repro.analysis`) — the function
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from .formula import (
     FALSE,
     TRUE,
-    Atom,
     Formula,
     atom_eq,
     conjoin,
@@ -118,7 +116,9 @@ class TransitionFormula:
         """
         frame: list[Formula] = []
         if variables is not None:
-            for name in variables:
+            # Sorted so conjunct order (and thus rendered text) never
+            # depends on set iteration order, which varies per process.
+            for name in sorted(variables):
                 if name not in self.footprint:
                     frame.append(
                         atom_eq(Polynomial.var(post(name)), Polynomial.var(pre(name)))
@@ -137,11 +137,15 @@ class TransitionFormula:
         if other.is_identity:
             return self
         footprint = self.footprint | other.footprint
-        mids = {name: fresh(f"mid_{name}") for name in footprint}
+        # Iterate the footprint in sorted order throughout: fresh-symbol
+        # minting order must not depend on set iteration order or renders
+        # of the same summary would differ from process to process.
+        ordered = sorted(footprint)
+        mids = {name: fresh(f"mid_{name}") for name in ordered}
         # self: rename post(v) -> mid_v; frame v' = v for v outside self's footprint
         left_map: dict[Symbol, Symbol] = {}
         left_extra: list[Formula] = []
-        for name in footprint:
+        for name in ordered:
             if name in self.footprint:
                 left_map[post(name)] = mids[name]
             else:
@@ -154,7 +158,7 @@ class TransitionFormula:
         # `other` only reads); frame v' = mid_v for v outside other's footprint.
         right_map: dict[Symbol, Symbol] = {}
         right_extra: list[Formula] = []
-        for name in footprint:
+        for name in ordered:
             right_map[pre(name)] = mids[name]
             if name not in other.footprint:
                 right_extra.append(
@@ -190,7 +194,7 @@ class TransitionFormula:
         names = frozenset(variables)
         if not names:
             return self
-        to_bind = [s for n in names for s in (pre(n), post(n))]
+        to_bind = [s for n in sorted(names) for s in (pre(n), post(n))]
         formula = exists(to_bind, self.formula)
         return TransitionFormula(formula, self.footprint - names)
 

@@ -18,6 +18,19 @@ concrete interpreter (:mod:`repro.lang.interp`), flagging:
 * **oracle-error** — the generated program itself is malformed (undefined
   variable, division by zero, arity mismatch): a generator bug, which must
   surface as loudly as an analyser bug;
+* **generator-invariant** — the semantic lint (:mod:`repro.lint`) reports an
+  error- or warning-severity diagnostic on the generated program.  The
+  generator promises well-formed programs (every variable declared, divisors
+  constant and positive, recursions with base cases that make progress), so
+  a lint finding means the generator broke an invariant *before* any
+  interpreter run could trip over it.  Info-severity diagnostics (dead
+  stores, never-read globals, ...) are stylistic and deliberately excluded —
+  generated programs are allowed to be ugly, not wrong.  The
+  condition-triviality codes R203/R204 are likewise excluded: the generator
+  makes no non-triviality promise about conditions (``m <= m`` and
+  ``7 < min(5, n)`` are fair game), and those codes sharpen with the
+  abstraction's precision, which would hold campaign cleanliness hostage to
+  precision improvements;
 * **disagreement** (info only) — tools return different ``proved`` verdicts
   for the same assertion; sound tools may legitimately differ in precision,
   so this is reported but never fails a campaign.
@@ -82,6 +95,9 @@ class OracleConfig:
     #: order of magnitude cheaper than depth 3 on generated programs while
     #: still exercising the sound beyond-depth over-approximation).
     unroll_depth: int = 2
+    #: cross-check generated programs against the semantic lint; error- and
+    #: warning-severity diagnostics become ``generator-invariant`` findings.
+    lint: bool = True
 
 
 @dataclass(frozen=True)
@@ -211,6 +227,10 @@ def check_program(
         program = parse_program(program)
     report = OracleReport()
     entry = program.procedures[-1].name
+
+    # ---- lint cross-check ---------------------------------------------- #
+    if config.lint:
+        report.findings.extend(_lint_findings(program))
 
     # ---- collect claims ------------------------------------------------ #
     bounds: list[_BoundClaim] = []
@@ -346,6 +366,31 @@ def check_program(
     return report
 
 
+#: Lint codes the cross-check ignores: the generator promises well-formed
+#: programs, not non-trivial conditions (see the module docstring).
+_LINT_EXEMPT_CODES = frozenset({"R203", "R204"})
+
+
+def _lint_findings(program: ast.Program) -> list[Finding]:
+    """Error/warning lint diagnostics as ``generator-invariant`` findings.
+
+    The lint translates conditions into formulas to ask satisfiability
+    questions; the fresh-symbol counter is restored afterwards so the
+    analyses below mint exactly the symbols they would without the check.
+    """
+    from ..formulas.symbols import preserved_fresh_counter
+    from ..lint import lint_program
+
+    with preserved_fresh_counter():
+        diagnostics = lint_program(program)
+    return [
+        Finding("generator-invariant", diagnostic.render())
+        for diagnostic in diagnostics
+        if diagnostic.severity in ("error", "warning")
+        and diagnostic.code not in _LINT_EXEMPT_CODES
+    ]
+
+
 def _format_args(arguments: dict[str, int], parameters: tuple[str, ...]) -> str:
     return ", ".join(f"{name}={arguments[name]}" for name in parameters)
 
@@ -366,6 +411,7 @@ def _run_fuzz(task: AnalysisTask, options: ChoraOptions) -> dict:
         seed=int(task.param("seed", 0)),
         baselines=bool(task.param("baselines", True)),
         max_steps=int(task.param("max_steps", 200_000)),
+        lint=bool(task.param("lint", True)),
     )
     report = check_program(task.source, config, options)
     payload = report.to_dict()

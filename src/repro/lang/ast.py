@@ -7,12 +7,19 @@ consume.  Arrays are supported syntactically (``int *A`` parameters, ``A[e]``
 reads, ``A[e] = v`` writes) but — exactly as in the paper's tool, which only
 reasons about integer variables — array reads are treated as unconstrained
 (non-deterministic) integer values and array writes as no-ops.
+
+Statement nodes (and the top-level declarations) carry an optional ``line``
+attribute recording the source line of their first token.  The field is for
+*attribution only* — diagnostics, error messages — and is excluded from
+equality, hashing and ``repr``, so structural identity and everything built
+on it (procedure fingerprints hash ``repr``, see
+:mod:`repro.lang.fingerprint`) stay insensitive to formatting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 __all__ = [
     # expressions
@@ -52,6 +59,11 @@ __all__ = [
     "GlobalDecl",
     "Program",
 ]
+
+
+def _line_field() -> Optional[int]:
+    """The shared declaration of the attribution-only ``line`` attribute."""
+    return field(default=None, compare=False, repr=False)
 
 
 # ---------------------------------------------------------------------- #
@@ -239,7 +251,13 @@ class NondetBool(Cond):
 # Statements
 # ---------------------------------------------------------------------- #
 class Stmt:
-    """Base class of statements."""
+    """Base class of statements.
+
+    Every concrete statement carries an attribution-only ``line`` (see the
+    module docstring); it defaults to ``None`` for nodes built
+    programmatically (desugaring, call hoisting, test fixtures, the fuzz
+    generator).
+    """
 
     __slots__ = ()
 
@@ -247,6 +265,7 @@ class Stmt:
 @dataclass(frozen=True)
 class Block(Stmt):
     statements: tuple[Stmt, ...]
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         inner = " ".join(str(s) for s in self.statements)
@@ -259,6 +278,7 @@ class VarDecl(Stmt):
 
     name: str
     init: Optional[Expr] = None
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         if self.init is None:
@@ -272,6 +292,7 @@ class Assign(Stmt):
 
     name: str
     value: Expr
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         return f"{self.name} = {self.value};"
@@ -284,6 +305,7 @@ class ArrayWrite(Stmt):
     array: str
     index: Expr
     value: Expr
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         return f"{self.array}[{self.index}] = {self.value};"
@@ -294,6 +316,7 @@ class CallStmt(Stmt):
     """A call whose result (if any) is discarded."""
 
     call: CallExpr
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         return f"{self.call};"
@@ -304,6 +327,7 @@ class If(Stmt):
     condition: Cond
     then_branch: Block
     else_branch: Optional[Block] = None
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         text = f"if ({self.condition}) {self.then_branch}"
@@ -316,6 +340,7 @@ class If(Stmt):
 class While(Stmt):
     condition: Cond
     body: Block
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         return f"while ({self.condition}) {self.body}"
@@ -324,6 +349,7 @@ class While(Stmt):
 @dataclass(frozen=True)
 class Return(Stmt):
     value: Optional[Expr] = None
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         if self.value is None:
@@ -334,6 +360,7 @@ class Return(Stmt):
 @dataclass(frozen=True)
 class Assert(Stmt):
     condition: Cond
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         return f"assert({self.condition});"
@@ -342,6 +369,7 @@ class Assert(Stmt):
 @dataclass(frozen=True)
 class Assume(Stmt):
     condition: Cond
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         return f"assume({self.condition});"
@@ -352,6 +380,7 @@ class Havoc(Stmt):
     """Assign an arbitrary value to a variable."""
 
     name: str
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         return f"{self.name} = nondet();"
@@ -379,6 +408,7 @@ class Procedure:
     parameters: tuple[Parameter, ...]
     body: Block
     returns_value: bool = True
+    line: Optional[int] = _line_field()
 
     @property
     def scalar_parameters(self) -> tuple[str, ...]:
@@ -418,6 +448,7 @@ class GlobalDecl:
 
     name: str
     init: Optional[int] = None
+    line: Optional[int] = _line_field()
 
     def __str__(self) -> str:
         if self.init is None:

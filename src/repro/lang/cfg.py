@@ -35,12 +35,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class WeightEdge:
-    """A CFG edge weighted with a transition formula."""
+    """A CFG edge weighted with a transition formula.
+
+    ``origin`` is the (possibly synthesized) AST statement the edge
+    translates — ``None`` for purely structural edges (fallthrough, join,
+    loop back).  Like ``ast.Stmt.line`` it is attribution-only metadata,
+    excluded from equality and ``repr``; the lint passes use it to recover
+    per-edge variable reads/writes and source lines.
+    """
 
     source: int
     target: int
     transition: TransitionFormula
     label: str = ""
+    origin: Optional[ast.Stmt] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"{self.source} -> {self.target} [{self.label}]"
@@ -56,6 +64,7 @@ class CallEdge:
     arguments: tuple[ast.Expr, ...]
     result: Optional[str] = None
     label: str = ""
+    origin: Optional[ast.Stmt] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         args = ", ".join(str(a) for a in self.arguments)
@@ -127,6 +136,15 @@ class ControlFlowGraph:
 # ---------------------------------------------------------------------- #
 # Call hoisting
 # ---------------------------------------------------------------------- #
+def _inherit_line(statements: Sequence[ast.Stmt], line: Optional[int]):
+    """Stamp hoisted statements with their surface statement's source line."""
+    if line is not None:
+        for statement in statements:
+            if statement.line is None:
+                object.__setattr__(statement, "line", line)
+    return statements
+
+
 class _Hoister:
     """Rewrites statements so calls only occur as the whole right-hand side
     of an assignment or as a call statement."""
@@ -199,10 +217,7 @@ class _Hoister:
     # -- statements ----------------------------------------------------- #
     def hoist_statement(self, statement: ast.Stmt) -> list[ast.Stmt]:
         if isinstance(statement, ast.Block):
-            out: list[ast.Stmt] = []
-            for child in statement.statements:
-                out.extend(self.hoist_statement(child))
-            return [ast.Block(tuple(out))]
+            return [ast.Block(tuple(self._hoist_block(statement)), line=statement.line)]
         if isinstance(statement, (ast.Assign, ast.VarDecl)):
             value = statement.value if isinstance(statement, ast.Assign) else statement.init
             if value is None:
@@ -253,16 +268,22 @@ class _Hoister:
     def _hoist_block(self, block: ast.Block) -> list[ast.Stmt]:
         out: list[ast.Stmt] = []
         for child in block.statements:
-            out.extend(self.hoist_statement(child))
+            out.extend(_inherit_line(self.hoist_statement(child), child.line))
         return out
 
 
 def hoist_calls_in_procedure(procedure: ast.Procedure) -> tuple[ast.Procedure, tuple[str, ...]]:
     """Hoist nested call expressions; returns the new procedure and new locals."""
     hoister = _Hoister()
-    body = ast.Block(tuple(hoister._hoist_block(procedure.body)))
+    body = ast.Block(tuple(hoister._hoist_block(procedure.body)), line=procedure.body.line)
     return (
-        ast.Procedure(procedure.name, procedure.parameters, body, procedure.returns_value),
+        ast.Procedure(
+            procedure.name,
+            procedure.parameters,
+            body,
+            procedure.returns_value,
+            line=procedure.line,
+        ),
         tuple(hoister.new_locals),
     )
 
@@ -290,8 +311,15 @@ class _CfgBuilder:
         self.cfg.vertices.add(vertex)
         return vertex
 
-    def add_weight(self, source: int, target: int, transition: TransitionFormula, label: str) -> None:
-        self.cfg.weight_edges.append(WeightEdge(source, target, transition, label))
+    def add_weight(
+        self,
+        source: int,
+        target: int,
+        transition: TransitionFormula,
+        label: str,
+        origin: Optional[ast.Stmt] = None,
+    ) -> None:
+        self.cfg.weight_edges.append(WeightEdge(source, target, transition, label, origin))
 
     def add_call(
         self,
@@ -300,9 +328,12 @@ class _CfgBuilder:
         callee: str,
         arguments: tuple[ast.Expr, ...],
         result: Optional[str],
+        origin: Optional[ast.Stmt] = None,
     ) -> None:
         label = f"{result + ' = ' if result else ''}{callee}(...)"
-        self.cfg.call_edges.append(CallEdge(source, target, callee, arguments, result, label))
+        self.cfg.call_edges.append(
+            CallEdge(source, target, callee, arguments, result, label, origin)
+        )
 
     # -- statement translation ------------------------------------------ #
     def build(self) -> ControlFlowGraph:
@@ -322,13 +353,20 @@ class _CfgBuilder:
         if isinstance(statement, ast.VarDecl):
             target = self.new_vertex()
             if statement.init is None:
-                self.add_weight(current, target, havoc_transition(statement.name), f"havoc {statement.name}")
+                self.add_weight(
+                    current,
+                    target,
+                    havoc_transition(statement.name),
+                    f"havoc {statement.name}",
+                    origin=statement,
+                )
             else:
                 self.add_weight(
                     current,
                     target,
                     assign_transition(statement.name, statement.init),
                     str(statement),
+                    origin=statement,
                 )
             return target
         if isinstance(statement, ast.Assign):
@@ -340,40 +378,68 @@ class _CfgBuilder:
                     statement.value.callee,
                     statement.value.args,
                     statement.name,
+                    origin=statement,
                 )
             else:
                 self.add_weight(
-                    current, target, assign_transition(statement.name, statement.value), str(statement)
+                    current,
+                    target,
+                    assign_transition(statement.name, statement.value),
+                    str(statement),
+                    origin=statement,
                 )
             return target
         if isinstance(statement, ast.Havoc):
             target = self.new_vertex()
-            self.add_weight(current, target, havoc_transition(statement.name), str(statement))
+            self.add_weight(
+                current, target, havoc_transition(statement.name), str(statement), origin=statement
+            )
             return target
         if isinstance(statement, ast.ArrayWrite):
             target = self.new_vertex()
-            self.add_weight(current, target, TransitionFormula.identity(), str(statement))
+            self.add_weight(
+                current, target, TransitionFormula.identity(), str(statement), origin=statement
+            )
             return target
         if isinstance(statement, ast.CallStmt):
             target = self.new_vertex()
-            self.add_call(current, target, statement.call.callee, statement.call.args, None)
+            self.add_call(
+                current,
+                target,
+                statement.call.callee,
+                statement.call.args,
+                None,
+                origin=statement,
+            )
             return target
         if isinstance(statement, ast.Assume):
             target = self.new_vertex()
-            self.add_weight(current, target, assume_transition(statement.condition), str(statement))
+            self.add_weight(
+                current,
+                target,
+                assume_transition(statement.condition),
+                str(statement),
+                origin=statement,
+            )
             return target
         if isinstance(statement, ast.Assert):
             self.cfg.assertions.append(
                 AssertionSite(self.procedure.name, current, statement.condition, str(statement.condition))
             )
             target = self.new_vertex()
-            self.add_weight(current, target, TransitionFormula.identity(), str(statement))
+            self.add_weight(
+                current, target, TransitionFormula.identity(), str(statement), origin=statement
+            )
             return target
         if isinstance(statement, ast.Return):
             if statement.value is not None:
                 middle = self.new_vertex()
                 self.add_weight(
-                    current, middle, assign_transition("return", statement.value), str(statement)
+                    current,
+                    middle,
+                    assign_transition("return", statement.value),
+                    str(statement),
+                    origin=statement,
                 )
                 current = middle
             self.add_weight(current, self.cfg.exit, TransitionFormula.identity(), "return")
@@ -382,27 +448,57 @@ class _CfgBuilder:
         if isinstance(statement, ast.If):
             join = self.new_vertex()
             then_entry = self.new_vertex()
-            self.add_weight(current, then_entry, assume_transition(statement.condition), f"assume {statement.condition}")
+            self.add_weight(
+                current,
+                then_entry,
+                assume_transition(statement.condition),
+                f"assume {statement.condition}",
+                origin=ast.Assume(statement.condition, line=statement.line),
+            )
             then_exit = self.translate_block(statement.then_branch, then_entry)
             self.add_weight(then_exit, join, TransitionFormula.identity(), "endif")
             negated = ast.NotCond(statement.condition)
             if statement.else_branch is not None:
                 else_entry = self.new_vertex()
-                self.add_weight(current, else_entry, assume_transition(negated), f"assume {negated}")
+                self.add_weight(
+                    current,
+                    else_entry,
+                    assume_transition(negated),
+                    f"assume {negated}",
+                    origin=ast.Assume(negated, line=statement.line),
+                )
                 else_exit = self.translate_block(statement.else_branch, else_entry)
                 self.add_weight(else_exit, join, TransitionFormula.identity(), "endelse")
             else:
-                self.add_weight(current, join, assume_transition(negated), f"assume {negated}")
+                self.add_weight(
+                    current,
+                    join,
+                    assume_transition(negated),
+                    f"assume {negated}",
+                    origin=ast.Assume(negated, line=statement.line),
+                )
             return join
         if isinstance(statement, ast.While):
             head = current
             after = self.new_vertex()
             body_entry = self.new_vertex()
-            self.add_weight(head, body_entry, assume_transition(statement.condition), f"assume {statement.condition}")
+            self.add_weight(
+                head,
+                body_entry,
+                assume_transition(statement.condition),
+                f"assume {statement.condition}",
+                origin=ast.Assume(statement.condition, line=statement.line),
+            )
             body_exit = self.translate_block(statement.body, body_entry)
             self.add_weight(body_exit, head, TransitionFormula.identity(), "loop back")
             negated = ast.NotCond(statement.condition)
-            self.add_weight(head, after, assume_transition(negated), f"assume {negated}")
+            self.add_weight(
+                head,
+                after,
+                assume_transition(negated),
+                f"assume {negated}",
+                origin=ast.Assume(negated, line=statement.line),
+            )
             return after
         raise TypeError(f"unsupported statement {statement!r}")
 

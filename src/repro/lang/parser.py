@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Optional
 
 from .ast import (
     ArrayRead,
@@ -127,6 +127,17 @@ def tokenize(source: str) -> list[Token]:
     return tokens
 
 
+def _at(node, line: int):
+    """Attach a source line to a freshly parsed node (attribution only).
+
+    Nodes built by desugaring keep the first line they were given (the
+    surface statement's), so re-wrapping never moves a diagnostic.
+    """
+    if node.line is None:
+        object.__setattr__(node, "line", line)
+    return node
+
+
 class _Parser:
     """Recursive-descent parser over the token stream."""
 
@@ -200,6 +211,7 @@ class _Parser:
         self.advance()  # type keyword
         declarations: list[GlobalDecl] = []
         while True:
+            line = self.peek().line
             name = self.expect_identifier()
             init: Optional[int] = None
             if self.accept("="):
@@ -211,13 +223,14 @@ class _Parser:
                     )
                 self.advance()
                 init = -int(token.text) if negative else int(token.text)
-            declarations.append(GlobalDecl(name, init))
+            declarations.append(GlobalDecl(name, init, line=line))
             if not self.accept(","):
                 break
         self.expect(";")
         return declarations
 
     def parse_procedure(self) -> Procedure:
+        line = self.peek().line
         kind = self.advance().text  # int | void | bool
         name = self.expect_identifier()
         self.expect("(")
@@ -234,20 +247,26 @@ class _Parser:
                     break
         self.expect(")")
         body = self.parse_block()
-        return Procedure(name, tuple(parameters), body, returns_value=(kind != "void"))
+        return Procedure(
+            name, tuple(parameters), body, returns_value=(kind != "void"), line=line
+        )
 
     # ------------------------------------------------------------------ #
     # Statements
     # ------------------------------------------------------------------ #
     def parse_block(self) -> Block:
-        self.expect("{")
+        opening = self.expect("{")
         statements: list[Stmt] = []
         while not self.check("}"):
             statements.append(self.parse_statement())
         self.expect("}")
-        return Block(tuple(statements))
+        return _at(Block(tuple(statements)), opening.line)
 
     def parse_statement(self) -> Stmt:
+        line = self.peek().line
+        return _at(self._parse_statement(), line)
+
+    def _parse_statement(self) -> Stmt:
         token = self.peek()
         if token.text == "{":
             return self.parse_block()
@@ -311,7 +330,8 @@ class _Parser:
         statement = self.parse_statement()
         if isinstance(statement, Block):
             return statement
-        return Block((statement,))
+        block = Block((statement,))
+        return _at(block, statement.line) if statement.line is not None else block
 
     def parse_while(self) -> Stmt:
         self.expect("while")
@@ -325,16 +345,16 @@ class _Parser:
         # do { body } while (cond);  ==  body; while (cond) { body }
         self.expect("do")
         body = self.parse_statement_as_block()
-        self.expect("while")
+        while_token = self.expect("while")
         self.expect("(")
         condition = self.parse_condition()
         self.expect(")")
         self.expect(";")
-        return Block((body, While(condition, body)))
+        return Block((body, _at(While(condition, body), while_token.line)))
 
     def parse_for(self) -> Stmt:
         # for (init; cond; update) body  ==  init; while (cond) { body; update }
-        self.expect("for")
+        for_token = self.expect("for")
         self.expect("(")
         init: Stmt = Block(())
         if not self.check(";"):
@@ -357,8 +377,10 @@ class _Parser:
             update = self.parse_simple_statement(require_semicolon=False)
         self.expect(")")
         body = self.parse_statement_as_block()
-        loop_body = Block(body.statements + (update,))
-        return Block((init, While(condition, loop_body)))
+        _at(init, for_token.line)
+        _at(update, for_token.line)
+        loop_body = _at(Block(body.statements + (update,)), body.line or for_token.line)
+        return Block((init, _at(While(condition, loop_body), for_token.line)))
 
     def parse_simple_statement(self, require_semicolon: bool) -> Stmt:
         """Assignments, compound assignments, increments, calls, array writes."""
@@ -399,7 +421,7 @@ class _Parser:
             )
         if require_semicolon:
             self.expect(";")
-        return statement
+        return _at(statement, token.line)
 
     def parse_call_arguments(self) -> tuple[Expr, ...]:
         self.expect("(")
@@ -572,69 +594,71 @@ def _validate_call_arities(program: Program) -> None:
     """
     signatures = {p.name: len(p.parameters) for p in program.procedures}
 
-    def visit_expression(owner: str, expression: Expr) -> None:
+    def visit_expression(owner: str, expression: Expr, line: Optional[int]) -> None:
         if isinstance(expression, CallExpr):
             declared = signatures.get(expression.callee)
             if declared is not None and len(expression.args) != declared:
+                where = f"line {line}: " if line is not None else ""
                 raise ParseError(
-                    f"call to {expression.callee}() in {owner}() passes"
+                    f"{where}call to {expression.callee}() in {owner}() passes"
                     f" {len(expression.args)} argument(s) but its definition"
                     f" declares {declared} parameter(s)"
                 )
             for argument in expression.args:
-                visit_expression(owner, argument)
+                visit_expression(owner, argument, line)
         elif isinstance(expression, (BinOp, MinMax)):
-            visit_expression(owner, expression.left)
-            visit_expression(owner, expression.right)
+            visit_expression(owner, expression.left, line)
+            visit_expression(owner, expression.right, line)
         elif isinstance(expression, UnaryNeg):
-            visit_expression(owner, expression.operand)
+            visit_expression(owner, expression.operand, line)
         elif isinstance(expression, Nondet):
             for bound in (expression.lower, expression.upper):
                 if bound is not None:
-                    visit_expression(owner, bound)
+                    visit_expression(owner, bound, line)
         elif isinstance(expression, ArrayRead):
-            visit_expression(owner, expression.index)
+            visit_expression(owner, expression.index, line)
         elif isinstance(expression, Ternary):
-            visit_condition(owner, expression.condition)
-            visit_expression(owner, expression.then_value)
-            visit_expression(owner, expression.else_value)
+            visit_condition(owner, expression.condition, line)
+            visit_expression(owner, expression.then_value, line)
+            visit_expression(owner, expression.else_value, line)
 
-    def visit_condition(owner: str, condition: Cond) -> None:
+    def visit_condition(owner: str, condition: Cond, line: Optional[int]) -> None:
         if isinstance(condition, Compare):
-            visit_expression(owner, condition.left)
-            visit_expression(owner, condition.right)
+            visit_expression(owner, condition.left, line)
+            visit_expression(owner, condition.right, line)
         elif isinstance(condition, BoolOp):
-            visit_condition(owner, condition.left)
-            visit_condition(owner, condition.right)
+            visit_condition(owner, condition.left, line)
+            visit_condition(owner, condition.right, line)
         elif isinstance(condition, NotCond):
-            visit_condition(owner, condition.operand)
+            visit_condition(owner, condition.operand, line)
 
     def visit_statement(owner: str, statement: Stmt) -> None:
+        line = statement.line
         if isinstance(statement, Block):
             for child in statement.statements:
                 visit_statement(owner, child)
         elif isinstance(statement, (VarDecl, Return)):
             if getattr(statement, "init", None) is not None:
-                visit_expression(owner, statement.init)
+                visit_expression(owner, statement.init, line)
             if getattr(statement, "value", None) is not None:
-                visit_expression(owner, statement.value)
+                visit_expression(owner, statement.value, line)
         elif isinstance(statement, Assign):
-            visit_expression(owner, statement.value)
+            visit_expression(owner, statement.value, line)
         elif isinstance(statement, ArrayWrite):
-            visit_expression(owner, statement.index)
-            visit_expression(owner, statement.value)
+            visit_expression(owner, statement.index, line)
+            visit_expression(owner, statement.value, line)
         elif isinstance(statement, CallStmt):
-            visit_expression(owner, statement.call)
+            visit_expression(owner, statement.call, line)
         elif isinstance(statement, If):
-            visit_condition(owner, statement.condition)
+            visit_condition(owner, statement.condition, line)
             visit_statement(owner, statement.then_branch)
             if statement.else_branch is not None:
                 visit_statement(owner, statement.else_branch)
         elif isinstance(statement, While):
-            visit_condition(owner, statement.condition)
+            visit_condition(owner, statement.condition, line)
             visit_statement(owner, statement.body)
         elif isinstance(statement, (Assert, Assume)):
-            visit_condition(owner, statement.condition)
+            visit_condition(owner, statement.condition, line)
 
     for procedure in program.procedures:
         visit_statement(procedure.name, procedure.body)

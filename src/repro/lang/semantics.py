@@ -25,8 +25,7 @@ paper's front end:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from fractions import Fraction
+from dataclasses import dataclass
 
 from ..formulas import (
     FALSE,
@@ -42,7 +41,6 @@ from ..formulas import (
     disjoin,
     exists,
     fresh,
-    negate,
     post,
     pre,
 )

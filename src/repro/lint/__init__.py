@@ -1,0 +1,41 @@
+"""Semantic lint for the analyzed language.
+
+A multi-pass static analyzer over the same front end the resource-bound
+analysis uses: intraprocedural dataflow on the CFGs
+(:mod:`repro.lint.dataflow`), call-graph passes for termination hygiene
+(:mod:`repro.lint.callgraph`), and expression/condition checks backed by
+the abstraction's satisfiability oracle (:mod:`repro.lint.expressions`).
+Diagnostics carry stable ``R``-codes, severities and source lines; see
+:mod:`repro.lint.diagnostics` for the catalogue and ``docs/linting.md``
+for the prose version.
+
+Entry points: :func:`lint_source` for untrusted text (parse failures
+become the ``R000`` diagnostic), :func:`lint_program` for parsed
+programs.
+"""
+
+from .diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    has_errors,
+    severity_at_least,
+    sort_diagnostics,
+)
+from .driver import (
+    filter_diagnostics,
+    lint_program,
+    lint_source,
+    parse_failure_diagnostic,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "filter_diagnostics",
+    "has_errors",
+    "lint_program",
+    "lint_source",
+    "parse_failure_diagnostic",
+    "severity_at_least",
+    "sort_diagnostics",
+]

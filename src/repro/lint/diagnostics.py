@@ -1,0 +1,109 @@
+"""Diagnostic records for the semantic lint passes.
+
+Every diagnostic carries a *stable* code (``R001`` …), a severity, a message,
+and — when the front end attributed one — the source line and enclosing
+procedure.  Codes are part of the CLI/service contract: suppression lists
+(``--disable``), tests, and the fuzz oracle's ``generator-invariant``
+cross-check all key on them, so codes are never renumbered; retired checks
+leave holes.
+
+The catalogue (see :mod:`docs/linting.md` for the prose version):
+
+======  ========  =====================================================
+code    severity  meaning
+======  ========  =====================================================
+R000    error     the file does not parse (wraps ``ParseError``)
+R001    error     read of a variable that is declared nowhere
+R002    warning   read of a local before any declaration reaches it
+R003    info      dead store: the assigned value is never read
+R004    warning   unreachable statement (code after ``return``)
+R005    info      global assigned but never read anywhere
+R006    warning   assignment to an undeclared variable
+R101    info      procedure unreachable from ``main()``
+R102    error     recursive cycle with no base case: cannot terminate
+R103    warning   recursive calls pass every shared argument unchanged
+R104    warning   ``nondet``-free infinite loop
+R201    error     constant division by zero
+R202    error     unsupported divisor (non-constant or negative)
+R203    warning   condition is always true
+R204    warning   condition is always false
+R205    info      tautological ``assume``
+R206    error     call in a condition (the front end cannot hoist it)
+======  ========  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "has_errors",
+    "severity_at_least",
+    "sort_diagnostics",
+]
+
+#: Severities from most to least severe; the order defines ``--severity``
+#: filtering and the exit-code contract (errors fail, warnings do not).
+SEVERITIES = ("error", "warning", "info")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint pass."""
+
+    code: str
+    severity: str
+    message: str
+    line: Optional[int] = None
+    procedure: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def render(self, path: Optional[str] = None) -> str:
+        """The conventional one-line ``file:line: severity: code: message``."""
+        location = path or "<source>"
+        if self.line is not None:
+            location += f":{self.line}"
+        where = f" [{self.procedure}]" if self.procedure else ""
+        return f"{location}: {self.severity}: {self.code}: {self.message}{where}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "line": self.line,
+            "procedure": self.procedure,
+        }
+
+
+def severity_at_least(diagnostic: Diagnostic, minimum: str) -> bool:
+    """Whether ``diagnostic`` is at least as severe as ``minimum``."""
+    if minimum not in _SEVERITY_RANK:
+        raise ValueError(f"unknown severity {minimum!r}")
+    return _SEVERITY_RANK[diagnostic.severity] <= _SEVERITY_RANK[minimum]
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity == "error" for d in diagnostics)
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Deduplicate and order by source line, then code, then message."""
+    unique = sorted(
+        set(diagnostics),
+        key=lambda d: (
+            d.line if d.line is not None else 1 << 30,
+            d.code,
+            d.procedure or "",
+            d.message,
+        ),
+    )
+    return unique

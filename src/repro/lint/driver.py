@@ -1,0 +1,76 @@
+"""Lint driver: parse, run every pass, filter, render.
+
+``lint_program`` runs the three pass families over an already-parsed
+program; ``lint_source`` additionally maps front-end rejections
+(:class:`repro.lang.ParseError`) to the **R000** diagnostic so callers
+always get a diagnostic list — never an exception — out of untrusted
+source text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Optional, Sequence
+
+from ..lang import ParseError, ast, parse_program
+from . import callgraph, dataflow, expressions
+from .diagnostics import Diagnostic, severity_at_least, sort_diagnostics
+
+__all__ = [
+    "filter_diagnostics",
+    "lint_program",
+    "lint_source",
+    "parse_failure_diagnostic",
+]
+
+_LINE_PREFIX = re.compile(r"^line (\d+): ")
+
+
+def parse_failure_diagnostic(error: ParseError) -> Diagnostic:
+    """The R000 diagnostic for a front-end rejection, line extracted."""
+    message = str(error)
+    line: Optional[int] = None
+    match = _LINE_PREFIX.match(message)
+    if match:
+        line = int(match.group(1))
+        message = message[match.end() :]
+    return Diagnostic(
+        code="R000",
+        severity="error",
+        message=f"parse error: {message}",
+        line=line,
+    )
+
+
+def lint_program(program: ast.Program) -> list[Diagnostic]:
+    """All diagnostics of every pass, deduplicated and in source order."""
+    diagnostics = (
+        dataflow.check_program(program)
+        + expressions.check_program(program)
+        + callgraph.check_program(program)
+    )
+    return sort_diagnostics(diagnostics)
+
+
+def lint_source(source: str) -> list[Diagnostic]:
+    """Lint source text; front-end rejections become the R000 diagnostic."""
+    try:
+        program = parse_program(source)
+    except ParseError as error:
+        return [parse_failure_diagnostic(error)]
+    return lint_program(program)
+
+
+def filter_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+    minimum_severity: str = "info",
+    disabled_codes: Sequence[str] = (),
+) -> list[Diagnostic]:
+    """Keep diagnostics at least ``minimum_severity`` whose code is enabled."""
+    disabled = frozenset(disabled_codes)
+    return [
+        diagnostic
+        for diagnostic in diagnostics
+        if severity_at_least(diagnostic, minimum_severity)
+        and diagnostic.code not in disabled
+    ]

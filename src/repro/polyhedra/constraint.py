@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from ..formulas.formula import Atom, AtomKind
 from ..formulas.polynomial import Monomial, Polynomial

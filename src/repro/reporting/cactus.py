@@ -9,7 +9,7 @@ text/CSV (no plotting dependency is available offline).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 __all__ = ["CactusSeries", "build_series", "render_csv", "render_text"]
 

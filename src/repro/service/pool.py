@@ -46,7 +46,12 @@ from typing import Any, Callable, Optional, Sequence
 from ..core import ChoraOptions
 from ..engine.batch import BatchResult
 from ..engine.cache import ResultCache
-from ..engine.tasks import AnalysisTask, execute_task, set_program_analyzer
+from ..engine.tasks import (
+    AnalysisTask,
+    InvalidProgram,
+    execute_task,
+    set_program_analyzer,
+)
 
 __all__ = ["WorkerPool", "PoolStats"]
 
@@ -138,6 +143,14 @@ def _worker_main(
                         # identical between serial and parallel runs.
                         meta["scc"] = schedule.to_dict()
                     reply = ("ok", payload, meta)
+                except InvalidProgram as error:
+                    # Front-end rejection: a structured one-line detail the
+                    # service maps to a 400 answer, not a traceback.
+                    meta = {
+                        "worker_seconds": round(time.perf_counter() - started, 4),
+                        "requests": requests,
+                    }
+                    reply = ("error", f"invalid-program: {error}", meta)
                 except BaseException:
                     meta = {
                         "worker_seconds": round(time.perf_counter() - started, 4),

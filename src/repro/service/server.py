@@ -228,6 +228,37 @@ def _deadline_ms_value(value: Any) -> float:
     return value
 
 
+def lint_request(body: bytes, content_type: str) -> tuple[str, str, tuple[str, ...]]:
+    """The ``(source, minimum severity, disabled codes)`` of ``POST /lint``.
+
+    ``text/plain`` bodies are bare program text with the defaults (all
+    severities, no code disabled); JSON bodies take ``"source"`` plus the
+    optional ``"severity"`` and ``"disable"`` fields matching the CLI flags.
+    Raises ``ValueError`` on malformed bodies (the 400 text).
+    """
+    from ..lint import SEVERITIES
+
+    if content_type.startswith("text/plain"):
+        return body.decode("utf-8", "replace"), SEVERITIES[-1], ()
+    data = _json_object(body)
+    if not isinstance(data, Mapping):
+        raise ValueError("request body must be a JSON object")
+    source = data.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ValueError('"source" must be a non-empty string of program text')
+    severity = data.get("severity", SEVERITIES[-1])
+    if severity not in SEVERITIES:
+        raise ValueError(
+            f'"severity" must be one of {", ".join(SEVERITIES)}, got {severity!r}'
+        )
+    disabled = data.get("disable") or []
+    if not isinstance(disabled, (list, tuple)) or not all(
+        isinstance(code, str) for code in disabled
+    ):
+        raise ValueError('"disable" must be a list of diagnostic codes')
+    return source, severity, tuple(disabled)
+
+
 def task_from_request(
     body: bytes, content_type: str
 ) -> tuple[AnalysisTask, Optional[float]]:
@@ -566,6 +597,7 @@ class AnalysisServer:
     ROUTES: dict[str, str] = {
         "analyze": "POST",
         "batch": "POST",
+        "lint": "POST",
         "healthz": "GET",
         "stats": "GET",
         "metrics": "GET",
@@ -956,6 +988,15 @@ class AnalysisServer:
                 f"the request exceeded its {deadline_ms:g}ms deadline",
                 detail={"deadline_ms": deadline_ms, "result": result.to_dict()},
             )
+        if result.outcome == "error" and result.detail.startswith("invalid-program:"):
+            # Front-end rejections (parse errors, unsupported constructs,
+            # lint-gate errors) are the client's fault, not a server failure.
+            raise _HttpError(
+                400,
+                "invalid_program",
+                result.detail[len("invalid-program:") :].strip(),
+                detail={"result": result.to_dict()},
+            )
         return 200, result.to_dict(), []
 
     async def _route_batch(
@@ -987,6 +1028,43 @@ class AnalysisServer:
                 " timed out)",
                 detail={"deadline_ms": deadline_ms, "totals": totals},
             )
+        return 200, document, []
+
+    def _lint_blocking(
+        self, source: str, severity: str, disabled: tuple[str, ...]
+    ) -> list:
+        from ..lint import filter_diagnostics, lint_source
+
+        return filter_diagnostics(lint_source(source), severity, disabled)
+
+    async def _route_lint(
+        self, request: _Request
+    ) -> tuple[int, dict[str, Any], list[tuple[str, str]]]:
+        """Lint one program; always 200 with the diagnostics document.
+
+        Lint findings — including parse errors (``R000``) — are the
+        *content* of the answer, not request failures, so only a malformed
+        request body earns a non-2xx envelope.  Linting is front-end-only
+        work (no analysis), so it runs on an executor thread without taking
+        a worker-pool admission slot.
+        """
+        try:
+            source, severity, disabled = lint_request(
+                request.body, request.header("content-type", "application/json")
+            )
+        except ValueError as error:
+            raise _HttpError(400, "bad_request", str(error)) from None
+        diagnostics = await asyncio.get_running_loop().run_in_executor(
+            self._executor, self._lint_blocking, source, severity, disabled
+        )
+        counts: dict[str, int] = {}
+        for diagnostic in diagnostics:
+            counts[diagnostic.severity] = counts.get(diagnostic.severity, 0) + 1
+        document = {
+            "ok": counts.get("error", 0) == 0,
+            "counts": counts,
+            "diagnostics": [diagnostic.to_dict() for diagnostic in diagnostics],
+        }
         return 200, document, []
 
     async def _route_healthz(

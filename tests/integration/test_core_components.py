@@ -1,7 +1,6 @@
 """Integration tests for the individual core components (Alg. 2/3, §4.2, §4.4, §4.5)."""
 
 import os
-from fractions import Fraction
 
 import pytest
 import sympy

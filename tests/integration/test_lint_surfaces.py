@@ -1,0 +1,246 @@
+"""The lint subsystem's outward surfaces: CLI, service route, analyze 400s.
+
+``repro lint`` exit-code contract (0 clean / 1 errors / 2 unreadable),
+``--json`` / ``--severity`` / ``--disable``, the ``--lint`` gate through
+``repro analyze`` (exit 2, one-line diagnostics, bit-identical output on
+clean programs), ``POST /v1/lint``, and the 400 ``invalid_program``
+envelope on ``/v1/analyze``.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.service import AnalysisServer, WorkerPool
+
+CLEAN = """\
+int main(int n) {
+    assume(n >= 0);
+    int r = n + 1;
+    assert(r >= 1);
+    return r;
+}
+"""
+
+DIV_ZERO = "int main(int n) {\n    return n / 0;\n}\n"
+PARSE_ERROR = "int main(int n) {\n    return n +;\n}\n"
+WARN_ONLY = """\
+int main(int n) {
+    int a = 0;
+    a = 5;
+    a = n;
+    return a;
+}
+"""
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "ok.c"
+        path.write_text(CLEAN, encoding="utf-8")
+        code, out, _ = run_cli(capsys, "lint", str(path))
+        assert code == 0
+        assert "0 diagnostics" in out
+
+    def test_error_exits_one_with_rendered_line(self, capsys, tmp_path):
+        path = tmp_path / "bad.c"
+        path.write_text(DIV_ZERO, encoding="utf-8")
+        code, out, _ = run_cli(capsys, "lint", str(path))
+        assert code == 1
+        assert f"{path}:2: error: R201:" in out
+
+    def test_warnings_do_not_fail(self, capsys, tmp_path):
+        path = tmp_path / "warn.c"
+        path.write_text(WARN_ONLY, encoding="utf-8")
+        code, out, _ = run_cli(capsys, "lint", str(path))
+        assert code == 0
+        assert "R003" in out
+
+    def test_severity_filter_hides_info(self, capsys, tmp_path):
+        path = tmp_path / "warn.c"
+        path.write_text(WARN_ONLY, encoding="utf-8")
+        code, out, _ = run_cli(capsys, "lint", str(path), "--severity", "warning")
+        assert code == 0
+        assert "R003" not in out
+
+    def test_disable_suppresses_a_code(self, capsys, tmp_path):
+        path = tmp_path / "bad.c"
+        path.write_text(DIV_ZERO, encoding="utf-8")
+        code, out, _ = run_cli(capsys, "lint", str(path), "--disable", "R201")
+        assert code == 0
+        assert "R201" not in out
+
+    def test_json_envelope(self, capsys, tmp_path):
+        good = tmp_path / "ok.c"
+        good.write_text(CLEAN, encoding="utf-8")
+        bad = tmp_path / "bad.c"
+        bad.write_text(DIV_ZERO, encoding="utf-8")
+        code, out, _ = run_cli(capsys, "lint", str(good), str(bad), "--json")
+        assert code == 1
+        document = json.loads(out)
+        assert document["ok"] is False
+        by_file = {entry["file"]: entry for entry in document["files"]}
+        assert by_file[str(good)]["ok"] is True
+        assert by_file[str(good)]["diagnostics"] == []
+        bad_entry = by_file[str(bad)]
+        assert bad_entry["ok"] is False
+        assert bad_entry["diagnostics"][0]["code"] == "R201"
+        assert bad_entry["diagnostics"][0]["line"] == 2
+
+    def test_unreadable_file_exits_two(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "lint", str(tmp_path / "missing.c"))
+        assert code == 2
+        assert "missing.c" in err
+
+    def test_parse_error_is_r000(self, capsys, tmp_path):
+        path = tmp_path / "broken.c"
+        path.write_text(PARSE_ERROR, encoding="utf-8")
+        code, out, _ = run_cli(capsys, "lint", str(path))
+        assert code == 1
+        assert f"{path}:2: error: R000:" in out
+
+
+class TestAnalyzeFrontEndErrors:
+    def test_parse_error_is_one_line_exit_two(self, capsys, tmp_path):
+        path = tmp_path / "broken.c"
+        path.write_text(PARSE_ERROR, encoding="utf-8")
+        code, _, err = run_cli(capsys, "analyze", str(path), "--no-cache")
+        assert code == 2
+        assert f"{path}:2: error: R000: parse error" in err
+        assert "Traceback" not in err
+
+    def test_lint_gate_rejects_with_exit_two(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_LINT_GATE", raising=False)
+        path = tmp_path / "bad.c"
+        path.write_text("int main(int n) {\n    return x;\n}\n", encoding="utf-8")
+        code, _, err = run_cli(capsys, "analyze", str(path), "--lint", "--no-cache")
+        assert code == 2
+        assert "invalid-program" in err
+        assert "R001" in err
+
+    def test_lint_gate_passes_clean_programs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_LINT_GATE", raising=False)
+        path = tmp_path / "ok.c"
+        path.write_text(CLEAN, encoding="utf-8")
+        code, out, _ = run_cli(capsys, "analyze", str(path), "--lint", "--no-cache")
+        assert code == 0
+        assert "PROVED" in out
+
+    def test_lint_gate_env_is_restored_after_main(self, capsys, tmp_path, monkeypatch):
+        # In-process callers (tests, embedding) must not have every later
+        # run gated because one invocation passed --lint.
+        import os
+
+        monkeypatch.delenv("REPRO_LINT_GATE", raising=False)
+        path = tmp_path / "ok.c"
+        path.write_text(CLEAN, encoding="utf-8")
+        run_cli(capsys, "analyze", str(path), "--lint", "--no-cache")
+        assert "REPRO_LINT_GATE" not in os.environ
+
+
+class TestServiceSurfaces:
+    @pytest.fixture()
+    def server(self):
+        server = AnalysisServer(WorkerPool(workers=1), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.close()
+        thread.join(5)
+
+    def _post(self, server, path, body, content_type="application/json"):
+        host, port = server.address
+        data = body if isinstance(body, bytes) else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            f"http://{host}:{port}{path}",
+            data=data,
+            headers={"Content-Type": content_type},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+
+    def test_lint_route_reports_diagnostics(self, server):
+        status, document = self._post(server, "/v1/lint", {"source": DIV_ZERO})
+        assert status == 200
+        assert document["ok"] is False
+        assert document["counts"]["error"] == 1
+        [diagnostic] = document["diagnostics"]
+        assert diagnostic["code"] == "R201"
+        assert diagnostic["line"] == 2
+
+    def test_lint_route_clean_program(self, server):
+        status, document = self._post(server, "/v1/lint", {"source": CLEAN})
+        assert status == 200
+        assert document["ok"] is True
+        assert document["diagnostics"] == []
+
+    def test_lint_route_severity_and_disable(self, server):
+        status, document = self._post(
+            server,
+            "/v1/lint",
+            {"source": WARN_ONLY, "severity": "warning", "disable": ["R003"]},
+        )
+        assert status == 200
+        assert document["ok"] is True
+        assert document["diagnostics"] == []
+
+    def test_lint_route_accepts_plain_text(self, server):
+        status, document = self._post(
+            server, "/v1/lint", DIV_ZERO.encode("utf-8"), content_type="text/plain"
+        )
+        assert status == 200
+        assert document["ok"] is False
+
+    def test_lint_route_rejects_bad_severity(self, server):
+        with pytest.raises(urllib.error.HTTPError) as error:
+            self._post(server, "/v1/lint", {"source": CLEAN, "severity": "loud"})
+        assert error.value.code == 400
+
+    def test_analyze_answers_400_on_parse_errors(self, server):
+        with pytest.raises(urllib.error.HTTPError) as error:
+            self._post(server, "/v1/analyze", {"source": PARSE_ERROR})
+        assert error.value.code == 400
+        envelope = json.load(error.value)
+        assert envelope["error"]["code"] == "invalid_program"
+        assert "parse error" in envelope["error"]["message"]
+
+
+class TestServiceGated:
+    def test_analyze_answers_400_on_lint_errors_with_gate(self, monkeypatch):
+        # The gate env var must be set before the pool forks its workers.
+        monkeypatch.setenv("REPRO_LINT_GATE", "1")
+        server = AnalysisServer(WorkerPool(workers=1), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.address
+            request = urllib.request.Request(
+                f"http://{host}:{port}/v1/analyze",
+                data=json.dumps(
+                    {"source": "int main(int n) {\n    return x;\n}\n"}
+                ).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as error:
+                urllib.request.urlopen(request, timeout=60)
+            assert error.value.code == 400
+            envelope = json.load(error.value)
+            assert envelope["error"]["code"] == "invalid_program"
+            assert "R001" in envelope["error"]["message"]
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(5)

@@ -13,10 +13,9 @@ Regenerate after an intentional change with::
 import os
 from pathlib import Path
 
-import pytest
 
 from repro.core import ChoraOptions
-from repro.engine import AnalysisTask, execute_task, suite_tasks
+from repro.engine import execute_task, suite_tasks
 from repro.engine.batch import BatchResult, _result_from_payload
 from repro.reporting import render_table1, render_table2
 

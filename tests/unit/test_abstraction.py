@@ -1,6 +1,5 @@
 """Unit tests for symbolic abstraction (Abstract / Alg. 1 and its non-linear variant)."""
 
-import pytest
 
 from repro.abstraction import (
     AbstractionOptions,

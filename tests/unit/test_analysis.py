@@ -1,8 +1,7 @@
 """Unit tests for intraprocedural analysis: loop summarization and path summaries."""
 
-import pytest
 
-from repro.abstraction import abstract, formula_entails, is_formula_satisfiable
+from repro.abstraction import formula_entails, is_formula_satisfiable
 from repro.analysis import ProcedureContext, path_summary, summarize_loop, summarize_procedure
 from repro.formulas import (
     Polynomial,

@@ -11,7 +11,6 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "tools"))

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.engine import AnalysisTask
 from repro.engine.tasks import execute_task
@@ -16,7 +15,7 @@ from repro.fuzz import (
     program_seed,
 )
 from repro.fuzz.shrink import shrink_program
-from repro.lang import ast, parse_program
+from repro.lang import parse_program
 from repro.lang.interp import (
     AssertionFailure,
     AssumeBlocked,

@@ -9,7 +9,6 @@ identical to a cold :func:`analyze_program`.
 
 import pickle
 
-import pytest
 
 from repro.core import (
     ChoraOptions,

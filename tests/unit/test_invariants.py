@@ -1,0 +1,110 @@
+"""``tools/check_invariants.py``: the source-invariant checker.
+
+The real sources must be clean, and each checker must actually catch the
+defect class it exists for (seeded violations in a temporary tree).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_invariants", REPO_ROOT / "tools" / "check_invariants.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_invariants", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def seeded_tree(tmp_path, checker, monkeypatch):
+    root = tmp_path / "src" / "repro"
+    root.mkdir(parents=True)
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    return root
+
+
+class TestRepositoryIsClean:
+    def test_knob_isolation(self, checker):
+        assert checker.check_knob_isolation() == []
+
+    def test_unpickler_allowlists(self, checker):
+        assert checker.check_unpickler_allowlists() == []
+
+
+class TestKnobIsolation:
+    def test_key_function_referencing_a_knob_is_flagged(self, checker, seeded_tree):
+        (seeded_tree / "bad.py").write_text(
+            "def cache_key(task):\n"
+            "    from .core import set_parallel_sccs\n"
+            "    return set_parallel_sccs()\n"
+        )
+        problems = checker.check_knob_isolation(seeded_tree)
+        assert len(problems) == 1
+        assert "set_parallel_sccs" in problems[0]
+
+    def test_key_module_referencing_a_knob_is_flagged(self, checker, seeded_tree):
+        cache = seeded_tree / "engine"
+        cache.mkdir()
+        (cache / "cache.py").write_text(
+            "from ..polyhedra.simplex import simplex_kernel\n"
+        )
+        problems = checker.check_knob_isolation(seeded_tree)
+        assert len(problems) == 1
+        assert "simplex_kernel" in problems[0]
+
+    def test_options_dataclass_with_knob_field_is_flagged(self, checker, seeded_tree):
+        (seeded_tree / "opts.py").write_text(
+            "class FooOptions:\n    parallel_sccs: int = 0\n"
+        )
+        problems = checker.check_knob_isolation(seeded_tree)
+        assert len(problems) == 1
+        assert "FooOptions" in problems[0]
+
+    def test_clean_function_is_not_flagged(self, checker, seeded_tree):
+        (seeded_tree / "ok.py").write_text(
+            "def cache_key(task):\n    return hash(task)\n"
+            "def run(options):\n"
+            "    from .core import set_parallel_sccs\n"
+            "    return set_parallel_sccs()\n"
+        )
+        assert checker.check_knob_isolation(seeded_tree) == []
+
+
+class TestUnpicklerAllowlists:
+    def test_computed_allowlist_is_flagged(self, checker, seeded_tree):
+        (seeded_tree / "bad.py").write_text(
+            "names = [('os', 'system')]\n"
+            "ALLOWED = frozenset((m, n) for m, n in names)\n"
+            "def load(data):\n"
+            "    return restricted_loads(data, ALLOWED)\n"
+        )
+        problems = checker.check_unpickler_allowlists(seeded_tree)
+        assert len(problems) == 1
+        assert "not a literal set" in problems[0]
+
+    def test_wildcard_entry_is_flagged(self, checker, seeded_tree):
+        (seeded_tree / "bad.py").write_text(
+            'ALLOWED = {("repro.*", "Symbol")}\n'
+            "def load(data):\n"
+            "    return restricted_loads(data, ALLOWED)\n"
+        )
+        problems = checker.check_unpickler_allowlists(seeded_tree)
+        assert len(problems) == 1
+        assert "wildcard" in problems[0]
+
+    def test_literal_allowlist_is_clean(self, checker, seeded_tree):
+        (seeded_tree / "ok.py").write_text(
+            'ALLOWED = {("builtins", "frozenset"), ("fractions", "Fraction")}\n'
+            "def load(data):\n"
+            "    return restricted_loads(data, ALLOWED)\n"
+        )
+        assert checker.check_unpickler_allowlists(seeded_tree) == []

@@ -10,7 +10,6 @@ from repro.lang import (
     build_call_graph,
     build_cfg,
     parse_program,
-    parse_procedure_body,
 )
 from repro.lang import ast
 from repro.lang.semantics import (

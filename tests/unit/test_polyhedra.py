@@ -1,6 +1,5 @@
 """Unit tests for the polyhedral domain: constraints, LP, projection, hulls."""
 
-from fractions import Fraction
 
 import pytest
 

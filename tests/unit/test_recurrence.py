@@ -1,13 +1,11 @@
 """Unit tests for the recurrence subsystem: ExpPoly, C-finite solving, stratified systems."""
 
-from fractions import Fraction
 
 import pytest
 import sympy
 
 from repro.formulas import Polynomial, sym
 from repro.recurrence import (
-    ClosedForm,
     ExpPoly,
     RecurrenceEquation,
     RecurrenceSolvingError,

@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Source-invariant checker (CI's ``invariants`` step, importable by tests).
+
+A Python-AST lint over ``src/repro`` for two invariants no unit test can
+pin down once and for all, because new call sites keep appearing:
+
+* **Tuning knobs stay out of cache keys.**  The process-local performance
+  knobs — the DAG-parallel SCC worker count (``set_parallel_sccs``) and the
+  simplex pivot-kernel selector (``set_simplex_kernel``) — are engineered
+  to be invisible to analysis results, so they must never flow into
+  fingerprint or cache/memo-key construction: a key that varied with them
+  would split one logical result across entries and silently defeat the
+  bit-identity contract the determinism tests pin.  Every function whose
+  name marks it as key material (``fingerprint``, ``cache_key``,
+  ``cache_material``, ...) is checked for references to the knob APIs, the
+  key-building modules are checked wholesale, and the ``*Options``
+  dataclasses (whose ``to_dict`` feeds the result-cache key) must not grow
+  a knob-named field.
+* **Unpickler allowlists enumerate concrete classes.**  Every
+  ``RestrictedUnpickler``/``restricted_loads`` call site must take its
+  ``allowed`` vocabulary from a literal set of ``("module", "qualname")``
+  string pairs.  A computed allowlist (comprehension, function call,
+  module-prefix matching) is how the arbitrary-code-execution hole the
+  restricted unpickler exists to close gets reopened by accident.
+
+Run from the repository root::
+
+    python tools/check_invariants.py
+
+Exit status 0 when the sources are clean, 1 otherwise (problems on stderr).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Identifiers belonging to the process-local tuning knobs.  Referencing
+#: any of these from key-construction code is a finding.
+KNOB_IDENTIFIERS = frozenset(
+    {
+        "parallel_sccs",
+        "set_parallel_sccs",
+        "simplex_kernel",
+        "set_simplex_kernel",
+        "_kernel_mode",
+        "kernel_stats",
+        "reset_kernel_stats",
+        "int64_available",
+    }
+)
+
+#: Function names that mark a definition as key material.
+KEY_FUNCTION_NAMES = frozenset(
+    {"fingerprint", "code_fingerprint", "cache_key", "cache_material", "key"}
+)
+
+#: Modules that exist to build keys; the knob identifiers may not appear
+#: anywhere in them, not even in imports or comments-of-code.
+KEY_MODULES = ("engine/cache.py", "lang/fingerprint.py")
+
+#: Names under which the restricted unpickler is called.
+UNPICKLER_NAMES = frozenset({"RestrictedUnpickler", "restricted_loads"})
+
+
+def python_sources(root: Path = SOURCE_ROOT) -> list[Path]:
+    """Every Python file of the package, deterministic order."""
+    return sorted(root.rglob("*.py"))
+
+
+def _identifiers(node: ast.AST) -> Iterator[str]:
+    """Every Name and Attribute identifier mentioned under ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+        elif isinstance(child, ast.alias):
+            yield child.name.split(".")[-1]
+
+
+def _function_definitions(
+    tree: ast.AST,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """``(qualified_name, node)`` for every function, classes flattened."""
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield f"{prefix}{child.name}", child
+                yield from walk(child, f"{prefix}{child.name}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+
+    yield from walk(tree, "")  # type: ignore[misc]
+
+
+def check_knob_isolation(root: Path = SOURCE_ROOT) -> list[str]:
+    """Knob references inside key-construction code (empty when clean)."""
+    problems: list[str] = []
+    for path in python_sources(root):
+        relative = path.relative_to(REPO_ROOT)
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(relative))
+        module_is_key = str(path).replace("\\", "/").endswith(KEY_MODULES)
+        if module_is_key:
+            for identifier in set(_identifiers(tree)) & KNOB_IDENTIFIERS:
+                problems.append(
+                    f"{relative}: key-building module references tuning knob"
+                    f" `{identifier}` — knobs must not flow into cache keys"
+                )
+            continue
+        for qualified, function in _function_definitions(tree):
+            name = qualified.rsplit(".", 1)[-1]
+            if name not in KEY_FUNCTION_NAMES:
+                continue
+            for identifier in set(_identifiers(function)) & KNOB_IDENTIFIERS:
+                problems.append(
+                    f"{relative}: key function `{qualified}` references tuning"
+                    f" knob `{identifier}` — knobs must not flow into cache keys"
+                )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or not node.name.endswith("Options"):
+                continue
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                target = statement.target
+                if isinstance(target, ast.Name) and target.id in KNOB_IDENTIFIERS:
+                    problems.append(
+                        f"{relative}: options dataclass `{node.name}` declares"
+                        f" knob field `{target.id}` — its to_dict() feeds the"
+                        " result-cache key"
+                    )
+    return problems
+
+
+def _literal_pair_elements(node: ast.AST) -> Optional[list[ast.expr]]:
+    """The element expressions of a literal set/frozenset, else ``None``."""
+    if isinstance(node, ast.Set):
+        return list(node.elts)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "frozenset"
+        and not node.keywords
+        and len(node.args) == 1
+        and isinstance(node.args[0], (ast.Set, ast.List, ast.Tuple))
+    ):
+        return list(node.args[0].elts)
+    return None
+
+
+def _allowlist_problems(value: ast.AST, origin: str) -> list[str]:
+    """Why ``value`` is not an explicit class allowlist (empty when it is)."""
+    elements = _literal_pair_elements(value)
+    if elements is None:
+        return [
+            f"{origin}: allowlist is not a literal set of"
+            " (module, qualname) pairs — computed allowlists reopen the"
+            " code-execution hole the restricted unpickler closes"
+        ]
+    problems: list[str] = []
+    for element in elements:
+        if (
+            not isinstance(element, ast.Tuple)
+            or len(element.elts) != 2
+            or not all(
+                isinstance(part, ast.Constant) and isinstance(part.value, str)
+                for part in element.elts
+            )
+        ):
+            problems.append(
+                f"{origin}: allowlist element is not a"
+                ' ("module", "qualname") string pair'
+            )
+            continue
+        module, qualname = (part.value for part in element.elts)  # type: ignore[union-attr]
+        if "*" in module or "*" in qualname:
+            problems.append(
+                f"{origin}: allowlist entry ({module!r}, {qualname!r}) uses a"
+                " wildcard — enumerate concrete classes"
+            )
+    return problems
+
+
+def check_unpickler_allowlists(root: Path = SOURCE_ROOT) -> list[str]:
+    """Unpickler call sites with non-literal allowlists (empty when clean)."""
+    problems: list[str] = []
+    for path in python_sources(root):
+        relative = path.relative_to(REPO_ROOT)
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(relative))
+        assignments: dict[str, ast.AST] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assignments[target.id] = node.value
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else (
+                callee.id if isinstance(callee, ast.Name) else None
+            )
+            if name not in UNPICKLER_NAMES:
+                continue
+            # ``allowed`` is the second positional argument of both entry
+            # points (after the stream/data), or the keyword of that name.
+            allowed: Optional[ast.AST] = None
+            if len(node.args) >= 2:
+                allowed = node.args[1]
+            for keyword in node.keywords:
+                if keyword.arg == "allowed":
+                    allowed = keyword.value
+            origin = f"{relative}:{node.lineno}: `{name}(...)`"
+            if allowed is None:
+                problems.append(f"{origin}: no explicit allowlist argument")
+                continue
+            if isinstance(allowed, ast.Name):
+                # Definition sites pass their parameter straight through;
+                # only resolve module-level names at *call* sites.
+                if allowed.id in assignments:
+                    problems.extend(
+                        _allowlist_problems(assignments[allowed.id], origin)
+                    )
+                elif allowed.id not in ("allowed",):
+                    problems.append(
+                        f"{origin}: allowlist `{allowed.id}` is not a"
+                        " module-level literal set of (module, qualname) pairs"
+                    )
+            else:
+                problems.extend(_allowlist_problems(allowed, origin))
+    return problems
+
+
+def main() -> int:
+    problems = check_knob_isolation() + check_unpickler_allowlists()
+    for problem in problems:
+        print(f"INVARIANT: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"invariants ok ({len(python_sources())} files checked)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
