@@ -25,7 +25,7 @@ import functools
 import hashlib
 import json
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from .. import __version__
 from ..core import ChoraOptions
@@ -74,16 +74,28 @@ def cache_key(task: AnalysisTask, options: ChoraOptions) -> str:
 
 
 def make_cache(
-    no_cache: bool = False, directory: Optional[Path | str] = None
+    no_cache: bool = False,
+    directory: Optional[Path | str] = None,
+    url: Optional[str] = None,
 ) -> Optional["ResultCache"]:
     """The cache implied by CLI-style switches (shared by CLI and examples).
 
-    ``no_cache`` wins over everything; an explicitly requested ``directory``
-    wins over the ``REPRO_NO_CACHE`` environment default; otherwise caching
-    is on at the default location unless the environment disables it.
+    ``no_cache`` wins over everything; an explicitly requested ``url``
+    (``--cache-url``, a remote cache plane served by ``repro serve``) or
+    ``directory`` wins over the ``REPRO_NO_CACHE`` environment default;
+    otherwise caching is on at the default location unless the environment
+    disables it.
     """
     if no_cache:
         return None
+    if url is not None and directory is not None:
+        raise ValueError("pass either a cache directory or a cache URL, not both")
+    if url is not None:
+        # Imported lazily: the engine layer only depends on the service's
+        # HTTP client when a remote cache plane is actually requested.
+        from ..service.remote import RemoteStorage
+
+        return ResultCache(storage=RemoteStorage(url))
     if directory is not None:
         return ResultCache(directory)
     if not cache_enabled():
@@ -142,6 +154,26 @@ class ResultCache:
             return None
         payload = entry.get("payload")
         return payload if isinstance(payload, dict) else None
+
+    def get_many(self, keys: Sequence[str]) -> dict[str, dict[str, Any]]:
+        """The cached payloads among ``keys`` (misses omitted).
+
+        One :meth:`CacheStorage.read_many` round instead of a per-key
+        :meth:`get` loop, so batch consumers (the shard merge, the stats
+        breakdown) amortise a remote backend's per-request latency.
+        """
+        payloads: dict[str, dict[str, Any]] = {}
+        for key, data in self.storage.read_many(keys).items():
+            try:
+                entry = json.loads(data.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            if not isinstance(entry, dict):
+                continue
+            payload = entry.get("payload")
+            if isinstance(payload, dict):
+                payloads[key] = payload
+        return payloads
 
     def put(
         self,
@@ -231,17 +263,17 @@ class ResultCache:
         (the service's ``/stats`` route) pass ``per_suite=False`` to get
         the counters from file metadata alone.
         """
-        entries = 0
+        names = list(self.storage.names())
+        stats: dict[str, Any] = {
+            "directory": self.storage.location(),
+            "entries": len(names),
+        }
+        if not per_suite:
+            stats["bytes"] = sum(self.storage.size_of(name) for name in names)
+            return stats
         size = 0
         suites: dict[str, int] = {}
-        for name in self.storage.names():
-            entries += 1
-            if not per_suite:
-                size += self.storage.size_of(name)
-                continue
-            data = self.storage.read(name)
-            if data is None:
-                continue
+        for data in self.storage.read_many(names).values():
             size += len(data)
             try:
                 entry = json.loads(data.decode("utf-8"))
@@ -249,11 +281,6 @@ class ResultCache:
                 entry = None
             suite = (entry or {}).get("suite") or "(none)"
             suites[suite] = suites.get(suite, 0) + 1
-        stats: dict[str, Any] = {
-            "directory": self.storage.location(),
-            "entries": entries,
-            "bytes": size,
-        }
-        if per_suite:
-            stats["suites"] = dict(sorted(suites.items()))
+        stats["bytes"] = size
+        stats["suites"] = dict(sorted(suites.items()))
         return stats

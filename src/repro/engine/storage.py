@@ -27,7 +27,7 @@ from abc import ABC, abstractmethod
 import os
 import tempfile
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Any, Iterable, Iterator, Mapping, Optional
 
 __all__ = ["CacheStorage", "DirectoryStorage", "MemoryStorage", "PrefixStorage"]
 
@@ -59,6 +59,52 @@ class CacheStorage(ABC):
         """Stored size of ``name`` in bytes (0 when absent)."""
         data = self.read(name)
         return len(data) if data is not None else 0
+
+    def read_many(self, names: Iterable[str]) -> dict[str, bytes]:
+        """The present entries among ``names``, as a name→bytes mapping.
+
+        Absent or unreadable entries are simply omitted — the read contract
+        per name is the same as :meth:`read`'s.  The default loops over
+        :meth:`read`; backends with per-call latency (a remote store, an
+        object store) override or inherit a transport that amortises it
+        (the HTTP backend reuses one keep-alive connection).
+        """
+        found: dict[str, bytes] = {}
+        for name in names:
+            data = self.read(name)
+            if data is not None:
+                found[name] = data
+        return found
+
+    def write_many(self, entries: Mapping[str, bytes]) -> None:
+        """Store every ``name → data`` pair (each write atomic per entry)."""
+        for name, data in entries.items():
+            self.write(name, data)
+
+    def stats(self) -> dict[str, Any]:
+        """Entry/byte counters of this store, plus its namespaces' counters.
+
+        The uniform shape — ``{"location", "entries", "bytes",
+        "namespaces": {name: {"entries", "bytes"}}}`` — is what ``repro
+        cache stats`` and the service's ``GET /v1/cache/stats`` route
+        render, so it must not assume a filesystem.  Backends that cannot
+        enumerate their namespaces (the generic prefix view) report ``{}``.
+        """
+        entries = 0
+        size = 0
+        for name in self.names():
+            entries += 1
+            size += self.size_of(name)
+        return {
+            "location": self.location(),
+            "entries": entries,
+            "bytes": size,
+            "namespaces": self._namespace_stats(),
+        }
+
+    def _namespace_stats(self) -> dict[str, dict[str, int]]:
+        """Per-namespace counters for :meth:`stats` (empty when unknowable)."""
+        return {}
 
     def namespace(self, name: str) -> "CacheStorage":
         """A sub-store of this backend under its own key space.
@@ -170,6 +216,21 @@ class DirectoryStorage(CacheStorage):
         # scans, and the entry names stay portable filenames.
         return DirectoryStorage(self.directory / name)
 
+    def _namespace_stats(self) -> dict[str, dict[str, int]]:
+        if not self.directory.is_dir():
+            return {}
+        counters: dict[str, dict[str, int]] = {}
+        for child in sorted(self.directory.iterdir()):
+            if not child.is_dir() or child.name.startswith("."):
+                continue
+            store = DirectoryStorage(child)
+            names = list(store.names())
+            counters[child.name] = {
+                "entries": len(names),
+                "bytes": sum(store.size_of(name) for name in names),
+            }
+        return counters
+
 
 class MemoryStorage(CacheStorage):
     """A process-local dict backend (tests, ephemeral service caches)."""
@@ -201,3 +262,12 @@ class MemoryStorage(CacheStorage):
         if store is None:
             store = self._namespaces[name] = MemoryStorage()
         return store
+
+    def _namespace_stats(self) -> dict[str, dict[str, int]]:
+        return {
+            name: {
+                "entries": len(store._entries),
+                "bytes": sum(len(data) for data in store._entries.values()),
+            }
+            for name, store in sorted(self._namespaces.items())
+        }

@@ -246,13 +246,41 @@ class ServiceClient:
         route: str,
         document: Optional[Any] = None,
         deadline_ms: Optional[float] = None,
+        retries_429: int = 0,
     ) -> Response:
         """Call one route (``"healthz"``, ``"batch"``, ...) and decode it.
 
         ``deadline_ms`` is sent as ``X-Repro-Deadline-Ms``; its expiry
         surfaces as a :class:`ServiceHTTPError` with status 504 and code
         ``deadline_exceeded``.
+
+        ``retries_429`` bounds how many times a 429 backpressure answer is
+        retried (after honouring the service's ``Retry-After`` hint, with a
+        capped exponential fallback when the hint is missing) before the
+        error is raised.  The default keeps the historical fail-fast
+        behaviour; ``repro batch --retry-429`` and the ``--distribute``
+        coordinator opt in.
         """
+        rejections = 0
+        while True:
+            try:
+                return self._request_once(method, route, document, deadline_ms)
+            except ServiceHTTPError as error:
+                if error.status != 429 or rejections >= max(0, retries_429):
+                    raise
+                rejections += 1
+                delay = error.retry_after
+                if delay is None:
+                    delay = 0.5 * (2 ** (rejections - 1))
+                time.sleep(min(max(delay, 0.0), 30.0))
+
+    def _request_once(
+        self,
+        method: str,
+        route: str,
+        document: Optional[Any] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Response:
         body = None
         headers: dict[str, str] = {"Connection": "keep-alive"}
         if document is not None:
@@ -290,6 +318,37 @@ class ServiceClient:
         self._raise_http_error(status, decoded, response_headers)
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def request_bytes(
+        self, method: str, route: str, body: Optional[bytes] = None
+    ) -> Response:
+        """Call one ``/v1`` route moving opaque bytes instead of JSON.
+
+        The cache-plane routes (``/v1/cache/...``) transport whole cache
+        entries verbatim: the request body (when given) is sent as
+        ``application/octet-stream`` and a 2xx response body comes back as
+        raw ``bytes`` in :attr:`Response.document`.  Non-2xx answers are
+        still the service's JSON error envelope and raise the same typed
+        errors as :meth:`request`.  No legacy-path fallback: the cache
+        plane only exists under ``/v1``.
+        """
+        headers: dict[str, str] = {"Connection": "keep-alive"}
+        if body is not None:
+            headers["Content-Type"] = "application/octet-stream"
+        path = f"{self.prefix}/v1/{route.lstrip('/')}"
+        started = time.monotonic()
+        status, payload, response_headers = self._round_trip(
+            method, path, body, headers
+        )
+        if status >= 300:
+            try:
+                decoded = self._decode(payload, status)
+            except MalformedResponse:
+                decoded = None
+            self._raise_http_error(status, decoded, response_headers)
+        return Response(
+            status, payload, response_headers, time.monotonic() - started
+        )
+
     # ------------------------------------------------------------------ #
     # Routes
     # ------------------------------------------------------------------ #
@@ -299,9 +358,12 @@ class ServiceClient:
         return self.request("POST", "analyze", document, deadline_ms)
 
     def batch(
-        self, document: Any, deadline_ms: Optional[float] = None
+        self,
+        document: Any,
+        deadline_ms: Optional[float] = None,
+        retries_429: int = 0,
     ) -> Response:
-        return self.request("POST", "batch", document, deadline_ms)
+        return self.request("POST", "batch", document, deadline_ms, retries_429)
 
     def healthz(self) -> Response:
         return self.request("GET", "healthz")

@@ -1,0 +1,292 @@
+"""The ``repro bench --distribute`` coordinator: shards fanned to services.
+
+One machine partitions a suite with the *same* deterministic shard hash
+``repro bench --shard i/n`` uses (:func:`~repro.engine.shard.shard_index`
+over each task's cache material), sends shard ``k`` to the ``k``-th
+``repro serve`` instance as one ``POST /v1/batch`` request, and merges the
+returned records back into suite order.  Because the partition is a pure
+function of task content and every service runs the same engine through
+:func:`~repro.service.server.run_batch`, the merged records are
+bit-identical to a single-box ``repro bench`` run (up to wall time and
+cache-hit counters — timing is the one thing distribution changes).
+
+Straggler policy: a shard whose host fails is retried on the surviving
+hosts, each host at most once per shard (bounded, logged).  A host that was
+*unreachable* (connection refused, reset, timed out) is marked dead so
+later shards skip it; a host that answered an HTTP error stays in rotation
+for other shards — it may only dislike this request.  A shard that fails on
+every live host degrades to explicit per-task ``error`` records naming the
+failure, never a shortened report.
+
+Pair ``--distribute`` with ``--cache-url`` on the serve instances to share
+one result cache and memo snapshot across the fleet; the coordinator
+itself needs no cache — results ride back in the batch responses.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from ..engine.batch import BatchResult
+from ..engine.shard import shard_index
+from ..engine.tasks import AnalysisTask
+from .client import (
+    ServiceClient,
+    ServiceError,
+    ServiceHTTPError,
+    ServiceUnreachable,
+    _parse_url,
+)
+
+__all__ = ["parse_hosts", "task_payload", "distribute_batch"]
+
+
+def parse_hosts(spec: str) -> list[str]:
+    """The normalized service URLs of one ``--distribute`` host list.
+
+    ``spec`` is a comma-separated ``host:port[,host:port,...]`` list (a
+    scheme is optional; only ``http`` is supported).  Raises ``ValueError``
+    on empty items or duplicates — a duplicated host would silently halve
+    the fleet while looking like scale-out.
+    """
+    hosts: list[str] = []
+    seen: set[str] = set()
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            raise ValueError(
+                f"empty host in --distribute list {spec!r}"
+                " (expected host:port,host:port,...)"
+            )
+        host, port, prefix = _parse_url(part)
+        url = f"http://{host}:{port}{prefix}"
+        if url in seen:
+            raise ValueError(f"duplicate host {url} in --distribute list")
+        seen.add(url)
+        hosts.append(url)
+    if not hosts:
+        raise ValueError("--distribute needs at least one host:port")
+    return hosts
+
+
+def task_payload(task: AnalysisTask) -> dict[str, Any]:
+    """The ``POST /v1/batch`` task object one :class:`AnalysisTask` becomes.
+
+    Shaped to round-trip through the service's task parser
+    (:func:`~repro.service.server.task_from_request`'s ``_task_from_mapping``)
+    so the reconstructed task has the same cache material — and therefore
+    the same cache key and shard assignment — as the local one.
+    """
+    payload: dict[str, Any] = {
+        "name": task.name,
+        "source": task.source,
+        "kind": task.kind,
+        "cost_variable": task.cost_variable,
+        "substitutions": [[name, value] for name, value in task.substitutions],
+        "params": {key: value for key, value in task.params},
+    }
+    if task.procedure is not None:
+        payload["procedure"] = task.procedure
+    if task.suite is not None:
+        payload["suite"] = task.suite
+    return payload
+
+
+def _default_client_factory(timeout: Optional[float]) -> Callable[[str], ServiceClient]:
+    return lambda url: ServiceClient(url, timeout=timeout)
+
+
+def distribute_batch(
+    tasks: Sequence[AnalysisTask],
+    hosts: Sequence[str],
+    *,
+    deadline_ms: Optional[float] = None,
+    timeout: Optional[float] = 600.0,
+    retries_429: int = 2,
+    log: Optional[Callable[[str], None]] = None,
+    client_factory: Optional[Callable[[str], ServiceClient]] = None,
+) -> tuple[list[BatchResult], list[dict[str, Any]]]:
+    """Fan ``tasks`` over ``hosts`` shard-wise and merge in suite order.
+
+    Returns ``(results, shard_reports)``: one result per task, in input
+    order, plus one report per non-empty shard describing which host served
+    it and what failed along the way (``{"shard", "tasks", "host",
+    "attempts", "ok"}``).  ``deadline_ms`` bounds each shard's batch
+    request end to end; ``retries_429`` is passed through to the client's
+    backpressure retry loop.  ``client_factory`` exists for tests — each
+    shard thread builds its own client (the keep-alive client is
+    single-threaded).
+    """
+    if not hosts:
+        raise ValueError("distribute_batch needs at least one host")
+    count = len(hosts)
+    emit = log or (lambda message: None)
+    factory = client_factory or _default_client_factory(timeout)
+
+    shards: dict[int, list[tuple[int, AnalysisTask]]] = {}
+    for position, task in enumerate(tasks):
+        shards.setdefault(shard_index(task, count), []).append((position, task))
+
+    dead_hosts: set[str] = set()
+    dead_lock = threading.Lock()
+
+    def _is_dead(url: str) -> bool:
+        with dead_lock:
+            return url in dead_hosts
+
+    def _mark_dead(url: str) -> None:
+        with dead_lock:
+            dead_hosts.add(url)
+
+    def _run_shard(
+        shard: int, members: list[tuple[int, AnalysisTask]]
+    ) -> tuple[list[tuple[int, BatchResult]], dict[str, Any]]:
+        body = {"tasks": [task_payload(task) for _, task in members]}
+        attempts: list[dict[str, Any]] = []
+        last_error = "no host attempted"
+        # Start at the shard's own host, then rotate through the survivors.
+        for offset in range(count):
+            url = hosts[(shard - 1 + offset) % count]
+            if _is_dead(url):
+                attempts.append({"host": url, "error": "skipped: host marked dead"})
+                continue
+            client = factory(url)
+            try:
+                response = client.batch(
+                    body, deadline_ms=deadline_ms, retries_429=retries_429
+                )
+            except ServiceUnreachable as error:
+                _mark_dead(url)
+                last_error = f"{url}: {error}"
+                attempts.append({"host": url, "error": str(error)})
+                emit(
+                    f"shard {shard}/{count}: {url} unreachable"
+                    f" ({error}); marking host dead and retrying elsewhere"
+                )
+                continue
+            except ServiceHTTPError as error:
+                last_error = f"{url}: {error}"
+                attempts.append({"host": url, "error": str(error)})
+                if error.status >= 500 or error.status == 429:
+                    emit(
+                        f"shard {shard}/{count}: {url} answered"
+                        f" {error.status}; retrying on another host"
+                    )
+                    continue
+                # A 4xx is this request's fault; another host will say the
+                # same thing, so fail the shard now.
+                emit(f"shard {shard}/{count}: {url} rejected the batch: {error}")
+                break
+            except ServiceError as error:
+                last_error = f"{url}: {error}"
+                attempts.append({"host": url, "error": str(error)})
+                emit(
+                    f"shard {shard}/{count}: {url} failed"
+                    f" ({error}); retrying on another host"
+                )
+                continue
+            finally:
+                client.close()
+            try:
+                merged = _shard_results(response.document, members)
+            except ValueError as error:
+                last_error = f"{url}: {error}"
+                attempts.append({"host": url, "error": str(error)})
+                emit(
+                    f"shard {shard}/{count}: {url} returned a malformed"
+                    f" batch document ({error}); retrying on another host"
+                )
+                continue
+            attempts.append({"host": url, "error": None})
+            report = {
+                "shard": shard,
+                "tasks": len(members),
+                "host": url,
+                "attempts": attempts,
+                "ok": True,
+            }
+            return merged, report
+        failed = [
+            (
+                position,
+                BatchResult(
+                    name=task.name,
+                    kind=task.kind,
+                    outcome="error",
+                    wall_time=0.0,
+                    suite=task.suite,
+                    detail=f"shard {shard}/{count} failed on every host;"
+                    f" last error: {last_error}",
+                ),
+            )
+            for position, task in members
+        ]
+        emit(f"shard {shard}/{count}: failed on every host ({last_error})")
+        report = {
+            "shard": shard,
+            "tasks": len(members),
+            "host": None,
+            "attempts": attempts,
+            "ok": False,
+        }
+        return failed, report
+
+    outcomes: dict[int, tuple[list[tuple[int, BatchResult]], dict[str, Any]]] = {}
+
+    def _shard_thread(shard: int, members: list[tuple[int, AnalysisTask]]) -> None:
+        outcomes[shard] = _run_shard(shard, members)
+
+    threads = [
+        threading.Thread(
+            target=_shard_thread, args=(shard, members), daemon=True
+        )
+        for shard, members in sorted(shards.items())
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    slots: list[Optional[BatchResult]] = [None] * len(tasks)
+    reports: list[dict[str, Any]] = []
+    for shard in sorted(outcomes):
+        merged, report = outcomes[shard]
+        reports.append(report)
+        for position, result in merged:
+            slots[position] = result
+    results: list[BatchResult] = []
+    for position, task in enumerate(tasks):
+        result = slots[position]
+        if result is None:  # pragma: no cover - shard bookkeeping bug guard
+            result = BatchResult(
+                name=task.name,
+                kind=task.kind,
+                outcome="error",
+                wall_time=0.0,
+                suite=task.suite,
+                detail="no shard reported a result for this task; this is a"
+                " coordinator bookkeeping bug, not an analysis outcome",
+            )
+        results.append(result)
+    return results, reports
+
+
+def _shard_results(
+    document: Any, members: Sequence[tuple[int, AnalysisTask]]
+) -> list[tuple[int, BatchResult]]:
+    """Decode one shard's batch response against its member list."""
+    if not isinstance(document, dict):
+        raise ValueError("batch response was not a JSON object")
+    records = document.get("results")
+    if not isinstance(records, list):
+        raise ValueError('batch response had no "results" list')
+    if len(records) != len(members):
+        raise ValueError(
+            f"batch response carried {len(records)} results for"
+            f" {len(members)} tasks"
+        )
+    merged: list[tuple[int, BatchResult]] = []
+    for (position, _task), record in zip(members, records):
+        merged.append((position, BatchResult.from_dict(record)))
+    return merged

@@ -1,0 +1,180 @@
+"""HTTP-backed :class:`~repro.engine.storage.CacheStorage` (the cache plane).
+
+:class:`RemoteStorage` points the content-addressed cache machinery — the
+result cache, the polyhedral memo snapshot and the incremental summary
+store — at the ``/v1/cache/...`` routes of a ``repro serve`` instance
+instead of a local directory.  Because every consumer already talks to
+storage through the :class:`~repro.engine.storage.CacheStorage` protocol,
+``repro bench --cache-url http://host:port`` and ``repro serve
+--cache-url ...`` make N machines share one store with no further code:
+the cache key is host-independent, so shards on different boxes read each
+other's results (and one shared memo snapshot) over HTTP exactly as they
+would from a shared directory.
+
+Error mapping follows the storage contract:
+
+* ``read``/``read_many`` treat *any* service failure (unreachable, 404,
+  5xx, malformed envelope) as a miss and return ``None``/omit the entry —
+  a flaky cache host degrades a run to cold-cache, it never fails it.
+* ``write``/``delete``/``names``/``stats`` raise ``OSError`` on failure,
+  the same family a directory backend raises, so existing swallow points
+  (``ResultCache.put``, the warm workers' snapshot load) behave
+  identically for remote and local stores.
+
+Instances are picklable and fork-safe: the underlying keep-alive
+:class:`~repro.service.client.ServiceClient` is built lazily and rebuilt
+after a ``fork`` (the warm worker pool passes storage objects into child
+processes), so a socket is never shared across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator, Optional
+
+from ..engine.storage import CacheStorage
+from .client import Response, ServiceClient, ServiceError, ServiceHTTPError
+
+__all__ = ["RemoteStorage", "ROOT_NAMESPACE"]
+
+#: The namespace holding the result-cache entries themselves.  The server
+#: maps it to the root of its backing store; every other namespace name maps
+#: to ``storage.namespace(name)``.
+ROOT_NAMESPACE = "results"
+
+
+class RemoteStorage(CacheStorage):
+    """Cache entries stored by a remote ``repro serve`` over HTTP."""
+
+    def __init__(
+        self,
+        url: str,
+        namespace: str = ROOT_NAMESPACE,
+        timeout: float = 60.0,
+    ) -> None:
+        # Normalise eagerly so a bad URL fails at construction, not on the
+        # first cache probe deep inside a batch run.
+        host, port, prefix = _parse_url_parts(url)
+        self.url = f"http://{host}:{port}{prefix}"
+        self._namespace = namespace
+        self.timeout = timeout
+        self._client: Optional[ServiceClient] = None
+        self._client_pid: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Transport plumbing
+    # ------------------------------------------------------------------ #
+    def _service(self) -> ServiceClient:
+        """The keep-alive client, rebuilt lazily and after a fork."""
+        pid = os.getpid()
+        if self._client is None or self._client_pid != pid:
+            self._client = ServiceClient(self.url, timeout=self.timeout)
+            self._client_pid = pid
+        return self._client
+
+    def __getstate__(self) -> dict[str, Any]:
+        # The live connection never crosses a pickle/fork boundary.
+        state = self.__dict__.copy()
+        state["_client"] = None
+        state["_client_pid"] = None
+        return state
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+            self._client_pid = None
+
+    def _call(
+        self, method: str, route: str, body: Optional[bytes] = None
+    ) -> Response:
+        return self._service().request_bytes(method, route, body)
+
+    def _entry_route(self, name: str) -> str:
+        return f"cache/{self._namespace}/{name}"
+
+    # ------------------------------------------------------------------ #
+    # CacheStorage contract
+    # ------------------------------------------------------------------ #
+    def read(self, name: str) -> Optional[bytes]:
+        try:
+            response = self._call("GET", self._entry_route(name))
+        except ServiceError:
+            # Unreachable host, 404 miss, 5xx — all read as a cache miss.
+            return None
+        document = response.document
+        return bytes(document) if isinstance(document, (bytes, bytearray)) else None
+
+    def write(self, name: str, data: bytes) -> None:
+        try:
+            self._call("PUT", self._entry_route(name), bytes(data))
+        except ServiceError as error:
+            raise OSError(f"remote cache write failed: {error}") from error
+
+    def delete(self, name: str) -> bool:
+        try:
+            response = self._call("DELETE", self._entry_route(name))
+        except ServiceHTTPError as error:
+            if error.status == 404:
+                return False
+            raise OSError(f"remote cache delete failed: {error}") from error
+        except ServiceError as error:
+            raise OSError(f"remote cache delete failed: {error}") from error
+        document = _decode_json(response)
+        return bool(document.get("deleted")) if isinstance(document, dict) else False
+
+    def names(self) -> Iterator[str]:
+        try:
+            response = self._call("GET", f"cache/{self._namespace}")
+        except ServiceError as error:
+            raise OSError(f"remote cache listing failed: {error}") from error
+        document = _decode_json(response)
+        names = document.get("names") if isinstance(document, dict) else None
+        if not isinstance(names, list):
+            raise OSError(
+                f"remote cache listing from {self.url} had no 'names' list"
+            )
+        yield from (str(name) for name in names)
+
+    def location(self) -> str:
+        return f"{self.url}/v1/cache/{self._namespace}"
+
+    def namespace(self, name: str) -> CacheStorage:
+        if self._namespace == ROOT_NAMESPACE:
+            return RemoteStorage(self.url, namespace=name, timeout=self.timeout)
+        # Namespaces of namespaces never occur today; fall back to the
+        # generic prefix view rather than inventing nested routes.
+        return super().namespace(name)
+
+    def stats(self) -> dict[str, Any]:
+        if self._namespace != ROOT_NAMESPACE:
+            return super().stats()
+        try:
+            response = self._call("GET", "cache/stats")
+        except ServiceError as error:
+            raise OSError(f"remote cache stats failed: {error}") from error
+        document = _decode_json(response)
+        if not isinstance(document, dict):
+            raise OSError(f"remote cache stats from {self.url} was not an object")
+        stats = dict(document)
+        # The server reports its own backing location; the caller asked
+        # about *this* store, which is the URL.
+        stats["location"] = self.location()
+        return stats
+
+
+def _parse_url_parts(url: str) -> tuple[str, int, str]:
+    from .client import _parse_url
+
+    return _parse_url(url)
+
+
+def _decode_json(response: Response) -> Any:
+    document = response.document
+    if not isinstance(document, (bytes, bytearray)):
+        return None
+    try:
+        return json.loads(bytes(document).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None

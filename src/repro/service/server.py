@@ -71,6 +71,27 @@ The routes themselves are unchanged in substance:
     restarts) plus the result-cache stats when a cache is attached.
 ``GET /v1/metrics``
     The SLO document described above.
+
+One route family is new in substance — the **cache plane** (``/v1`` only,
+no legacy alias).  When the service has a cache attached, it serves that
+store's entries over HTTP so :class:`~repro.service.remote.RemoteStorage`
+backends on other machines can share it:
+
+``GET/PUT/DELETE /v1/cache/{namespace}/{name}``
+    One entry, moved verbatim as ``application/octet-stream``.  The
+    ``results`` namespace is the result cache itself; ``memo`` and
+    ``incremental`` hold the polyhedral memo snapshot and the persistent
+    incremental store.  GET answers the raw bytes or 404; PUT stores the
+    request body atomically; DELETE reports ``{"deleted": bool}``.
+``GET /v1/cache/{namespace}``
+    The sorted entry names of one namespace.
+``GET /v1/cache/stats``
+    Entry/byte counters of the whole store, per namespace, plus the memo
+    snapshot and incremental store summaries.
+
+Cache routes do **not** take an admission slot (like ``/lint``): they are
+storage I/O, not analysis, and a shard worker fetching the shared memo
+snapshot must not deadlock behind the very batch requests it serves.
 """
 
 from __future__ import annotations
@@ -80,6 +101,7 @@ import collections
 import itertools
 import json
 import math
+import re
 import socket
 import threading
 import time
@@ -120,6 +142,10 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 
 #: Ring-buffer window of per-route latency samples behind the percentiles.
 LATENCY_WINDOW = 512
+
+#: Valid cache-plane namespace and entry names: portable filenames with no
+#: leading dot, so a directory-backed store can never be walked out of.
+_CACHE_SEGMENT = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
 
 _STATUS_PHRASES = {
     200: "OK",
@@ -801,11 +827,18 @@ class AnalysisServer:
     # ------------------------------------------------------------------ #
     async def _dispatch(
         self, request: _Request, request_id: str
-    ) -> tuple[int, dict[str, Any], list[tuple[str, str]], str]:
+    ) -> tuple[int, Any, list[tuple[str, str]], str]:
         """Route one request; returns (status, document, headers, route)."""
         path = request.target.split("?", 1)[0]
         legacy = not path.startswith(f"/{API_VERSION}/")
         name = path[len(API_VERSION) + 2 :] if not legacy else path.lstrip("/")
+        # The cache plane exists only under /v1 (no legacy alias to deprecate).
+        is_cache = not legacy and (name == "cache" or name.startswith("cache/"))
+        route_label = (
+            "cache"
+            if is_cache
+            else (name if name in self.ROUTES else "other")
+        )
         headers: list[tuple[str, str]] = []
         if legacy and name in self.ROUTES:
             # RFC 8594: the unversioned paths still work but are deprecated
@@ -818,6 +851,9 @@ class AnalysisServer:
                 )
             )
         try:
+            if is_cache:
+                status, document, extra = await self._route_cache(request, name)
+                return status, document, headers + list(extra), "cache"
             if name not in self.ROUTES:
                 raise _HttpError(
                     404, "not_found", f"no such path {path!r}"
@@ -838,7 +874,7 @@ class AnalysisServer:
                 error.status,
                 self._envelope(error, request_id),
                 headers + error.headers,
-                name if name in self.ROUTES else "other",
+                route_label,
             )
         except Exception as error:
             # The pool can fail out from under a request (a closed pool
@@ -854,7 +890,7 @@ class AnalysisServer:
                 500,
                 self._envelope(wrapped, request_id),
                 headers,
-                name if name in self.ROUTES else "other",
+                route_label,
             )
 
     @staticmethod
@@ -872,17 +908,23 @@ class AnalysisServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        document: Mapping[str, Any],
+        document: Any,
         headers: Sequence[tuple[str, str]],
         keep_alive: bool,
         request_id: Optional[str],
     ) -> None:
-        body = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+        if isinstance(document, (bytes, bytearray, memoryview)):
+            # Cache-plane entry bodies move verbatim; everything else is JSON.
+            body = bytes(document)
+            content_type = "application/octet-stream"
+        else:
+            body = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         phrase = _STATUS_PHRASES.get(status, "Unknown")
         lines = [
             f"HTTP/1.1 {status} {phrase}",
             f"Server: {self.VERSION_STRING}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
@@ -1082,6 +1124,118 @@ class AnalysisServer:
     ) -> tuple[int, dict[str, Any], list[tuple[str, str]]]:
         document = self.metrics.document(self.capacity, self._admitted, self.pool)
         return 200, document, []
+
+    # ------------------------------------------------------------------ #
+    # The cache plane: /v1/cache/... (see the module docstring)
+    # ------------------------------------------------------------------ #
+    def _cache_namespace_storage(self, namespace: str):
+        """The storage backend one cache-plane namespace maps to."""
+        from .remote import ROOT_NAMESPACE
+
+        if namespace == "stats" or not _CACHE_SEGMENT.match(namespace):
+            raise _HttpError(
+                400, "bad_request", f"bad cache namespace {namespace!r}"
+            )
+        if namespace == ROOT_NAMESPACE:
+            return self.cache.storage
+        return self.cache.storage.namespace(namespace)
+
+    def _cache_stats_blocking(self) -> dict[str, Any]:
+        document = self.cache.storage.stats()
+        document["memo_snapshot"] = self.cache.memo_snapshot_stats()
+        document["incremental_store"] = self.cache.incremental_store_stats()
+        return document
+
+    async def _route_cache(
+        self, request: _Request, name: str
+    ) -> tuple[int, Any, list[tuple[str, str]]]:
+        """Serve the attached cache store over HTTP (no admission slot).
+
+        Storage calls are blocking I/O, so they run on the executor like
+        the analysis routes; unlike those they bypass :meth:`_admit` — a
+        shard worker pulling the shared memo snapshot must not queue
+        behind the very batch requests it is serving.
+        """
+        if self.cache is None:
+            raise _HttpError(
+                404,
+                "not_found",
+                "this service has no cache attached"
+                " (start repro serve with caching enabled)",
+            )
+        loop = asyncio.get_running_loop()
+        segments = name.split("/")[1:]
+        if segments == ["stats"]:
+            if request.method != "GET":
+                raise _HttpError(
+                    405,
+                    "method_not_allowed",
+                    f"/v1/cache/stats accepts GET, not {request.method}",
+                    headers=[("Allow", "GET")],
+                )
+            document = await loop.run_in_executor(
+                self._executor, self._cache_stats_blocking
+            )
+            return 200, document, []
+        if len(segments) == 1 and segments[0]:
+            namespace = segments[0]
+            storage = self._cache_namespace_storage(namespace)
+            if request.method != "GET":
+                raise _HttpError(
+                    405,
+                    "method_not_allowed",
+                    f"/v1/cache/{namespace} accepts GET, not {request.method}",
+                    headers=[("Allow", "GET")],
+                )
+            names = await loop.run_in_executor(
+                self._executor, lambda: sorted(storage.names())
+            )
+            return 200, {"namespace": namespace, "names": names}, []
+        if len(segments) == 2 and all(segments):
+            namespace, entry = segments
+            storage = self._cache_namespace_storage(namespace)
+            if not _CACHE_SEGMENT.match(entry):
+                raise _HttpError(
+                    400, "bad_request", f"bad cache entry name {entry!r}"
+                )
+            if request.method == "GET":
+                data = await loop.run_in_executor(
+                    self._executor, storage.read, entry
+                )
+                if data is None:
+                    raise _HttpError(
+                        404,
+                        "not_found",
+                        f"no cache entry {entry!r} in namespace {namespace!r}",
+                    )
+                return 200, data, []
+            if request.method == "PUT":
+                body = request.body
+                await loop.run_in_executor(
+                    self._executor, storage.write, entry, body
+                )
+                return (
+                    200,
+                    {"stored": entry, "namespace": namespace, "bytes": len(body)},
+                    [],
+                )
+            if request.method == "DELETE":
+                removed = await loop.run_in_executor(
+                    self._executor, storage.delete, entry
+                )
+                return (
+                    200,
+                    {"deleted": bool(removed), "name": entry, "namespace": namespace},
+                    [],
+                )
+            raise _HttpError(
+                405,
+                "method_not_allowed",
+                f"/v1/cache/{namespace}/{entry} accepts GET, PUT or DELETE,"
+                f" not {request.method}",
+                headers=[("Allow", "GET, PUT, DELETE")],
+            )
+        raise _HttpError(404, "not_found", f"no such path '/v1/{name}'")
 
 
 def serve(

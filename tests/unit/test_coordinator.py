@@ -1,0 +1,241 @@
+"""The --distribute coordinator: host parsing, wire round-trips, retries.
+
+These tests run the real coordinator logic against fake clients (no
+sockets), pinning the contracts the integration layer then exercises over
+real services: tasks round-trip through the batch wire format with their
+cache material — and therefore shard assignment — intact, shards fan out
+in suite-recoverable order, unreachable hosts are retried on survivors and
+marked dead for later shards, and a shard with no live host degrades to
+explicit error records instead of a shortened report.
+"""
+
+import pytest
+
+from repro.engine import AnalysisTask
+from repro.engine.cache import cache_key
+from repro.engine.shard import shard_index
+from repro.core import ChoraOptions
+from repro.service.client import ServiceHTTPError, ServiceUnreachable
+from repro.service.coordinator import distribute_batch, parse_hosts, task_payload
+from repro.service.server import task_from_request
+
+
+class TestParseHosts:
+    def test_bare_host_ports_are_normalized_to_urls(self):
+        assert parse_hosts("127.0.0.1:8001,127.0.0.1:8002") == [
+            "http://127.0.0.1:8001",
+            "http://127.0.0.1:8002",
+        ]
+
+    def test_explicit_scheme_is_accepted(self):
+        assert parse_hosts("http://box:80") == ["http://box:80"]
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", " , ", "127.0.0.1:8001,", "127.0.0.1:8001,127.0.0.1:8001"],
+    )
+    def test_empty_and_duplicate_hosts_are_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_hosts(spec)
+
+    def test_https_is_rejected(self):
+        with pytest.raises(ValueError):
+            parse_hosts("https://box:443")
+
+
+class TestTaskPayload:
+    def tasks(self):
+        return [
+            AnalysisTask(
+                name="plain",
+                source="int main() { return 0; }",
+                kind="analyze",
+                suite="toy",
+            ),
+            AnalysisTask(
+                name="rich",
+                source="int main(int n) { assert(n >= 0); return n; }",
+                kind="assertion",
+                procedure="main",
+                cost_variable="ticks",
+                substitutions=(("m", 2), ("n", 8)),
+                params=(("depth", 12),),
+                suite="toy",
+            ),
+        ]
+
+    def test_round_trip_preserves_cache_material_and_shard(self):
+        import json
+
+        for task in self.tasks():
+            body = json.dumps(task_payload(task)).encode("utf-8")
+            rebuilt, _ = task_from_request(body, "application/json")
+            assert rebuilt.cache_material() == task.cache_material()
+            assert rebuilt.name == task.name
+            assert rebuilt.suite == task.suite
+            options = ChoraOptions()
+            assert cache_key(rebuilt, options) == cache_key(task, options)
+            for count in (2, 3, 5):
+                assert shard_index(rebuilt, count) == shard_index(task, count)
+
+
+def _ok_record(item):
+    return {
+        "name": item["name"],
+        "suite": item.get("suite"),
+        "kind": item["kind"],
+        "outcome": "ok",
+        "proved": True,
+        "bound": None,
+        "wall_time": 0.1,
+        "cache_hit": False,
+        "detail": "",
+        "payload": {"proved": True, "served_by": item.get("_host", "?")},
+    }
+
+
+class _FakeResponse:
+    def __init__(self, document):
+        self.document = document
+
+
+class _FakeClient:
+    """One scripted host: answers, fails, or dies according to ``behaviour``."""
+
+    def __init__(self, url, behaviour, calls):
+        self.url = url
+        self.behaviour = behaviour
+        self.calls = calls
+
+    def batch(self, body, deadline_ms=None, retries_429=0):
+        self.calls.append((self.url, [item["name"] for item in body["tasks"]]))
+        action = self.behaviour.get(self.url, "ok")
+        if action == "unreachable":
+            raise ServiceUnreachable(f"{self.url}: connection refused")
+        if action == "500":
+            raise ServiceHTTPError(500, "internal", "boom")
+        if action == "400":
+            raise ServiceHTTPError(400, "bad_request", "no thanks")
+        if action == "short":
+            return _FakeResponse({"results": []})
+        results = []
+        for item in body["tasks"]:
+            record = _ok_record(dict(item, _host=self.url))
+            results.append(record)
+        return _FakeResponse({"results": results})
+
+    def close(self):
+        pass
+
+
+def _factory(behaviour, calls):
+    return lambda url: _FakeClient(url, behaviour, calls)
+
+
+def _toy_tasks():
+    sources = {
+        "inc": "int main(int n) { assume(n >= 0); assert(n + 1 >= 1); return n; }",
+        "square": "int main(int n) { assume(n >= 2); assert(n * n >= 4); return n; }",
+        "open": "int main(int n) { assert(n >= 0); return n; }",
+        "sum": "int main(int n) { assume(n >= 0); assert(n + n >= n); return n; }",
+    }
+    return [
+        AnalysisTask(name=name, source=source, kind="assertion", suite="toy")
+        for name, source in sources.items()
+    ]
+
+
+HOSTS = ["http://h:1", "http://h:2"]
+
+
+class TestDistributeBatch:
+    def test_results_come_back_in_suite_order(self):
+        tasks = _toy_tasks()
+        calls = []
+        results, reports = distribute_batch(
+            tasks, HOSTS, client_factory=_factory({}, calls)
+        )
+        assert [result.name for result in results] == [task.name for task in tasks]
+        assert all(result.outcome == "ok" for result in results)
+        assert all(report["ok"] for report in reports)
+        # Every task went to the host its shard hash names.
+        for report in reports:
+            assert report["host"] == HOSTS[report["shard"] - 1]
+
+    def test_partition_matches_the_shard_hash(self):
+        tasks = _toy_tasks()
+        calls = []
+        distribute_batch(tasks, HOSTS, client_factory=_factory({}, calls))
+        sent = {}
+        for url, names in calls:
+            for name in names:
+                sent[name] = url
+        for task in tasks:
+            expected = HOSTS[shard_index(task, len(HOSTS)) - 1]
+            assert sent[task.name] == expected
+
+    def test_unreachable_host_fails_over_to_the_survivor(self):
+        tasks = _toy_tasks()
+        calls = []
+        dead = HOSTS[0]
+        results, reports = distribute_batch(
+            tasks,
+            HOSTS,
+            client_factory=_factory({dead: "unreachable"}, calls),
+            log=lambda message: None,
+        )
+        assert all(result.outcome == "ok" for result in results)
+        for report in reports:
+            assert report["ok"]
+            assert report["host"] == HOSTS[1]
+        # At most one connection attempt hit the dead host per shard; once
+        # marked dead it may be skipped entirely by the other shard.
+        dead_attempts = [url for url, _ in calls if url == dead]
+        assert 1 <= len(dead_attempts) <= 2
+
+    def test_5xx_hosts_are_retried_but_not_marked_dead(self):
+        tasks = _toy_tasks()
+        calls = []
+        flaky = HOSTS[0]
+        results, reports = distribute_batch(
+            tasks, HOSTS, client_factory=_factory({flaky: "500"}, calls)
+        )
+        assert all(result.outcome == "ok" for result in results)
+        # The flaky host stayed in rotation: no shard skipped it as dead.
+        for report in reports:
+            assert report["ok"]
+            for attempt in report["attempts"]:
+                assert "marked dead" not in (attempt["error"] or "")
+
+    def test_4xx_fails_the_shard_without_trying_other_hosts(self):
+        tasks = _toy_tasks()
+        calls = []
+        results, reports = distribute_batch(
+            tasks,
+            [HOSTS[0]],
+            client_factory=_factory({HOSTS[0]: "400"}, calls),
+        )
+        assert all(result.outcome == "error" for result in results)
+        assert all("failed on every host" in result.detail for result in results)
+        assert len(calls) == 1
+
+    def test_every_host_down_degrades_to_error_records(self):
+        tasks = _toy_tasks()
+        calls = []
+        behaviour = {url: "unreachable" for url in HOSTS}
+        results, reports = distribute_batch(
+            tasks, HOSTS, client_factory=_factory(behaviour, calls)
+        )
+        assert [result.name for result in results] == [task.name for task in tasks]
+        assert all(result.outcome == "error" for result in results)
+        assert all(not report["ok"] for report in reports)
+        assert all(report["host"] is None for report in reports)
+
+    def test_short_result_lists_are_rejected_as_malformed(self):
+        tasks = _toy_tasks()
+        calls = []
+        behaviour = {url: "short" for url in HOSTS}
+        results, _ = distribute_batch(
+            tasks, HOSTS, client_factory=_factory(behaviour, calls)
+        )
+        assert all(result.outcome == "error" for result in results)
